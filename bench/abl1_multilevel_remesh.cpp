@@ -1,0 +1,164 @@
+// Ablation 1: multi-level vs level-by-level refinement and coarsening
+// (paper contribution 2 / Sec II-C1: "we tailor existing octree refinement
+// and coarsening algorithms ... especially for multi-level refinement ...
+// This contrasts existing approaches, where refinement or coarsening of the
+// octrees is done level by level"). REAL wall time of both strategies on
+// interface-driven and random multi-level patterns.
+#include <cstdio>
+
+#include "amr/coarsen.hpp"
+#include "amr/remesh.hpp"
+#include "amr/refine.hpp"
+#include "octree/tree.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace pt;
+
+namespace {
+
+template <typename F>
+double timeIt(F&& f, int reps = 5) {
+  Timer t;
+  f();  // warm-up (also produces the result for validation)
+  t.start();
+  for (int i = 0; i < reps; ++i) f();
+  t.stop();
+  return t.seconds() / reps;
+}
+
+}  // namespace
+
+int main() {
+  Table t({"pattern", "jump", "leaves_in", "leaves_out", "multi[ms]",
+           "lbl[ms]", "speedup"});
+
+  // Interface-driven refinement: a band of leaves jumps several levels at
+  // once (the paper's "levels of the mesh can vary by several orders of
+  // magnitude ... element sizes drop substantially" scenario).
+  for (int jump : {1, 2, 3, 4}) {
+    OctList<2> base = uniformTree<2>(5);
+    std::vector<Level> want(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      auto c = base[i].centerCoords();
+      const Real d = std::abs(std::hypot(c[0] - 0.5, c[1] - 0.5) - 0.3);
+      want[i] = d < 0.07 ? Level(5 + jump) : Level(5);
+    }
+    OctList<2> outM, outL;
+    const double tm = timeIt([&] { outM = refine(base, want); });
+    const double tl = timeIt([&] { outL = refineLevelByLevel(base, want); });
+    if (outM.size() != outL.size()) std::printf("MISMATCH!\n");
+    t.addRow(std::string("refine interface"), jump, base.size(), outM.size(),
+             tm * 1e3, tl * 1e3, tl / tm);
+  }
+
+  // Interface-driven coarsening: drop a deep band back down several levels.
+  for (int jump : {1, 2, 3, 4}) {
+    OctList<2> base = uniformTree<2>(5);
+    std::vector<Level> up(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      auto c = base[i].centerCoords();
+      const Real d = std::abs(std::hypot(c[0] - 0.5, c[1] - 0.5) - 0.3);
+      up[i] = d < 0.07 ? Level(5 + jump) : Level(5);
+    }
+    OctList<2> fine = refine(base, up);
+    std::vector<Level> accept(fine.size());
+    for (std::size_t i = 0; i < fine.size(); ++i)
+      accept[i] = std::min<Level>(fine[i].level, 5);
+    OctList<2> outM, outL;
+    const double tm = timeIt([&] { outM = coarsen(fine, accept); });
+    const double tl =
+        timeIt([&] { outL = coarsenLevelByLevel(fine, accept); });
+    if (outM.size() != outL.size()) std::printf("MISMATCH!\n");
+    t.addRow(std::string("coarsen interface"), jump, fine.size(), outM.size(),
+             tm * 1e3, tl * 1e3, tl / tm);
+  }
+
+  // Random multi-level refinement targets.
+  {
+    Rng rng(71);
+    OctList<2> base = uniformTree<2>(5);
+    std::vector<Level> want(base.size());
+    for (auto& w : want)
+      w = static_cast<Level>(5 + rng.uniformInt(0, 4));
+    OctList<2> outM, outL;
+    const double tm = timeIt([&] { outM = refine(base, want); });
+    const double tl = timeIt([&] { outL = refineLevelByLevel(base, want); });
+    t.addRow(std::string("refine random"), "0-4", base.size(), outM.size(),
+             tm * 1e3, tl * 1e3, tl / tm);
+  }
+
+  t.print(std::cout,
+          "Ablation 1 — serial traversals: multi-level (Algorithms 5-6) vs "
+          "level-by-level");
+  std::printf("\nSerial traversal constants favor multi-level on refinement "
+              "and are a wash on coarsening. The paper's claim, however, is "
+              "about the *pipeline*: frameworks that change one level at a "
+              "time pay 2:1-rebalance and repartition after every level.\n");
+
+  // --- The distributed remeshing pipeline -----------------------------------
+  // Multi-level: ONE remesh (refine/coarsen + balance + repartition).
+  // Level-by-level: one full remesh round per level of change.
+  {
+    Table tp({"jump", "multi[ms]", "multi_colls", "lbl[ms]", "lbl_colls",
+              "comm_round_ratio"});
+    for (int jump : {1, 2, 3, 4}) {
+      auto wantFor = [&](const DistTree<2>& dt, Level target) {
+        sim::PerRank<std::vector<Level>> w(dt.nRanks());
+        for (int r = 0; r < dt.nRanks(); ++r) {
+          const auto& elems = dt.localOf(r);
+          w[r].resize(elems.size());
+          for (std::size_t e = 0; e < elems.size(); ++e) {
+            auto c = elems[e].centerCoords();
+            const Real d =
+                std::abs(std::hypot(c[0] - 0.5, c[1] - 0.5) - 0.3);
+            w[r][e] = d < 0.07 ? target : Level(5);
+          }
+        }
+        return w;
+      };
+      const Level target = Level(5 + jump);
+      // Multi-level: one shot.
+      Timer tm;
+      long collsMulti = 0;
+      {
+        sim::SimComm comm(8, sim::Machine::frontera());
+        auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+        (void)remesh(dt, wantFor(dt, Level(5)));  // warm-up allocators
+        comm.stats() = {};
+        tm.start();
+        auto out = remesh(dt, wantFor(dt, target));
+        tm.stop();
+        collsMulti = comm.stats().collectives;
+        (void)out;
+      }
+      // Level-by-level: a full remesh round per level.
+      Timer tl;
+      long collsLbl = 0;
+      {
+        sim::SimComm comm(8, sim::Machine::frontera());
+        auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+        (void)remesh(dt, wantFor(dt, Level(5)));
+        comm.stats() = {};
+        tl.start();
+        for (Level step = 6; step <= target; ++step)
+          dt = remesh(dt, wantFor(dt, step));
+        tl.stop();
+        collsLbl = comm.stats().collectives;
+      }
+      tp.addRow(jump, tm.seconds() * 1e3, collsMulti, tl.seconds() * 1e3,
+                collsLbl, double(collsLbl) / double(collsMulti));
+    }
+    tp.print(std::cout,
+             "Ablation 1b — distributed remesh pipeline: one multi-level "
+             "round vs one round per level (8 simulated ranks)");
+    std::printf("\nEach level-by-level round repeats the coarsening "
+                "consensus exchange, the 2:1 balance ripple, the "
+                "repartition and the splitter rebuild; the collective-round "
+                "count — the latency-bound quantity at 100K processes — "
+                "grows with the number of levels traversed, which is the "
+                "overhead the paper's multi-level algorithms remove.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation 2: NBX sparse exchange vs dense MPI_Alltoall for the nodal
+// enumeration's "return address" step (paper Sec II-C3c). The paper
+// observed low overhead up to 28K cores, then a 15x blow-up from 28K to 56K
+// with the dense collective, fixed by adopting the NBX algorithm of Hoefler
+// et al. [23].
+//
+// Both algorithms run over the simulated communicator with an identical
+// (sparse, SFC-local) message pattern; delivered data is identical and the
+// charged cost exposes the Omega(p) term of the dense variant.
+#include <cstdio>
+
+#include "sim/comm.hpp"
+#include "support/csv.hpp"
+
+using namespace pt;
+
+namespace {
+
+/// Cost of one sparse return-address exchange on p ranks: each rank talks
+/// to ~12 SFC-neighbor ranks with small payloads (the high-locality pattern
+/// the paper describes).
+double exchangeCost(int p, sim::SimComm::ExchangeAlgo algo) {
+  sim::SimComm comm(p, sim::Machine::frontera());
+  sim::SparseSends<std::uint64_t> sends(p);
+  for (int r = 0; r < p; ++r)
+    for (int j = 1; j <= 12; ++j)
+      sends[r].emplace_back((r + j * 7) % p, std::vector<std::uint64_t>(8));
+  comm.sparseExchange(sends, algo);
+  return comm.time();
+}
+
+}  // namespace
+
+int main() {
+  Table t({"procs", "dense_alltoall[ms]", "nbx[ms]", "dense/nbx"});
+  std::vector<long> procs = {1792, 3584, 7168, 14336, 28672, 57344, 114688};
+  double dense28 = 0, dense57 = 0, nbx28 = 0, nbx57 = 0;
+  for (long p : procs) {
+    const double d = exchangeCost(int(p), sim::SimComm::ExchangeAlgo::kDenseAlltoall);
+    const double n = exchangeCost(int(p), sim::SimComm::ExchangeAlgo::kNbx);
+    if (p == 28672) {
+      dense28 = d;
+      nbx28 = n;
+    }
+    if (p == 57344) {
+      dense57 = d;
+      nbx57 = n;
+    }
+    t.addRow(p, d * 1e3, n * 1e3, d / n);
+  }
+  t.print(std::cout,
+          "Ablation 2 — NBX vs dense Alltoall, sparse return-address "
+          "exchange");
+  std::printf("\npaper: overhead 'blew up 15x from 28K to 56K cores' with "
+              "the dense collective;\n");
+  std::printf("measured: dense grows %.1fx from 28K to 57K (%.2f -> %.2f ms) "
+              "while NBX grows %.2fx (%.3f -> %.3f ms)\n",
+              dense57 / dense28, dense28 * 1e3, dense57 * 1e3, nbx57 / nbx28,
+              nbx28 * 1e3, nbx57 * 1e3);
+  std::printf("(the dense variant also pays the O(p) send-count array setup "
+              "the paper mentions)\n");
+  return 0;
+}

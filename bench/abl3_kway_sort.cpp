@@ -1,0 +1,95 @@
+// Ablation 3: distributed octree-key sorting — hierarchical k-way staged
+// scheme vs the flat O(p) splitter/alltoall implementation (paper
+// Sec II-C3a), plus the memoized MPI_Comm_split hierarchy (Sec II-C3b).
+//
+// Both sorters run the real sample-sort data path over simulated ranks and
+// produce identical results; the charged costs expose the O(p) splitter
+// storage/transfer of the flat scheme vs the O(k log_k p) staged scheme.
+#include <cstdio>
+
+#include "sim/comm.hpp"
+#include "sim/sort.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+
+using namespace pt;
+
+namespace {
+
+double sortCost(int p, sim::SortAlgo algo, int k = 128) {
+  sim::SimComm comm(p, sim::Machine::frontera());
+  Rng rng(91);
+  sim::PerRank<std::vector<std::uint64_t>> data(p);
+  for (int r = 0; r < p; ++r) {
+    data[r].resize(64);
+    for (auto& v : data[r])
+      v = static_cast<std::uint64_t>(rng.uniformInt(0, 1ll << 40));
+  }
+  sim::distributedSort(comm, data, std::less<std::uint64_t>{}, algo, k);
+  return comm.time();
+}
+
+}  // namespace
+
+int main() {
+  {
+    Table t({"procs", "flat[ms]", "kway[ms]", "flat/kway", "stages(k=128)"});
+    for (long p : {512L, 2048L, 8192L, 32768L, 114688L}) {
+      const double tf = sortCost(int(p), sim::SortAlgo::kFlat);
+      const double tk = sortCost(int(p), sim::SortAlgo::kKway);
+      t.addRow(p, tf * 1e3, tk * 1e3, tf / tk, sim::ceilLogK(p, 128));
+    }
+    t.print(std::cout,
+            "Ablation 3a — flat vs k-way hierarchical distributed sort");
+    std::printf("\npaper: k = 128 keeps splitter storage at O(k) and "
+                "Allreduce transfer at O(k log_k p); at most 3 stages up to "
+                "2M processes.\n");
+  }
+
+  {
+    // Sweep k at fixed p: too small a k means many stages, too large a k
+    // approaches the flat scheme's O(p) behaviour.
+    Table t({"k", "time[ms]", "stages"});
+    const int p = 32768;
+    for (int k : {8, 32, 128, 512, 2048}) {
+      t.addRow(k, sortCost(p, sim::SortAlgo::kKway, k) * 1e3,
+               sim::ceilLogK(p, k));
+    }
+    t.print(std::cout, "Ablation 3b — k sweep at 32K ranks");
+  }
+
+  {
+    // Memoized communicator hierarchy: the first sort pays the Comm_split
+    // cascade; subsequent sorts recall it from the cached attribute.
+    Table t({"procs", "first_sort[ms]", "repeat_sort[ms]", "split_savings"});
+    for (long p : {8192L, 32768L, 114688L}) {
+      sim::SimComm comm(int(p), sim::Machine::frontera());
+      Rng rng(7);
+      auto makeData = [&] {
+        sim::PerRank<std::vector<std::uint64_t>> d(static_cast<int>(p));
+        for (int r = 0; r < int(p); ++r) {
+          d[r].resize(32);
+          for (auto& v : d[r])
+            v = static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 30));
+        }
+        return d;
+      };
+      auto d1 = makeData();
+      sim::distributedSort(comm, d1, std::less<std::uint64_t>{},
+                           sim::SortAlgo::kKway);
+      const double t1 = comm.time();
+      comm.resetClocks();
+      auto d2 = makeData();
+      sim::distributedSort(comm, d2, std::less<std::uint64_t>{},
+                           sim::SortAlgo::kKway);
+      const double t2 = comm.time();
+      t.addRow(p, t1 * 1e3, t2 * 1e3,
+               std::to_string(comm.stats().commSplitHits) + " memoized hits");
+    }
+    t.print(std::cout,
+            "Ablation 3c — memoized Comm_split hierarchy (Sec II-C3b)");
+    std::printf("\nRepeated sorts skip the communicator-split cascade "
+                "entirely (recalled from the MPI-attribute-style cache).\n");
+  }
+  return 0;
+}

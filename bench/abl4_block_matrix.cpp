@@ -1,0 +1,149 @@
+// Ablation 4: block (BAIJ) vs scalar (AIJ) matrix storage, and VU-solve
+// mass-matrix reuse (paper Sec II-A Remark + Sec II-D). Real wall time.
+//
+//  - SpMV AIJ vs BAIJ for block sizes 1..4 on an FEM-sparsity system: the
+//    paper's claim is that BAIJ "has been demonstrated to be much more
+//    efficient ... for the multi-dof system".
+//  - VU matrix reuse: assemble the mass matrix once and solve DIM
+//    right-hand sides vs reassembling per direction; plus the N x k vs
+//    N x DIM x k memory footprint the Remark describes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "la/seqmat.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pt;
+
+/// Builds an FEM-like sparsity (2D 5-point-ish grid of nb block rows) in
+/// both formats with identical values.
+void buildPair(int nb, int bs, la::CsrMatrix& A, la::BsrMatrix& B) {
+  const int side = static_cast<int>(std::sqrt(double(nb)));
+  Rng rng(17);
+  for (int r = 0; r < nb; ++r) {
+    const int x = r % side, y = r / side;
+    auto link = [&](int c) {
+      if (c < 0 || c >= nb) return;
+      for (int oi = 0; oi < bs; ++oi)
+        for (int oj = 0; oj < bs; ++oj) {
+          const Real v = rng.uniform(-1, 1) + (r == c && oi == oj ? 8.0 : 0);
+          A.setValue(r * bs + oi, c * bs + oj, v);
+          B.setValue(r * bs + oi, c * bs + oj, v);
+        }
+    };
+    link(r);
+    if (x > 0) link(r - 1);
+    if (x < side - 1) link(r + 1);
+    if (y > 0) link(r - side);
+    if (y < side - 1) link(r + side);
+  }
+  A.assemblyEnd();
+  B.assemblyEnd();
+}
+
+void BM_SpmvAij(benchmark::State& state) {
+  const int bs = static_cast<int>(state.range(0));
+  const int nb = 16384;
+  la::CsrMatrix A(GlobalIdx(nb) * bs, GlobalIdx(nb) * bs);
+  la::BsrMatrix B(nb, nb, bs);
+  buildPair(nb, bs, A, B);
+  std::vector<Real> x(nb * bs, 1.0), y;
+  for (auto _ : state) {
+    A.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * A.nnz());
+}
+
+void BM_SpmvBaij(benchmark::State& state) {
+  const int bs = static_cast<int>(state.range(0));
+  const int nb = 16384;
+  la::CsrMatrix A(GlobalIdx(nb) * bs, GlobalIdx(nb) * bs);
+  la::BsrMatrix B(nb, nb, bs);
+  buildPair(nb, bs, A, B);
+  std::vector<Real> x(nb * bs, 1.0), y;
+  for (auto _ : state) {
+    B.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * B.nnzBlocks() * bs * bs);
+}
+
+/// VU-solve with reuse: one assembly, then DIM solves reusing the pattern
+/// and values (the paper: "the mass matrix ... does not need to be
+/// recomputed for each of the DIM separately and is reused till the mesh
+/// does not change. Once the matrix is assembled, no subsequent call to
+/// Mat_Assembly_Begin/End is made").
+void buildMass(int n, la::CsrMatrix& M) {
+  const int side = static_cast<int>(std::sqrt(double(n)));
+  for (int r = 0; r < n; ++r) {
+    const int x = r % side, y = r / side;
+    auto link = [&](int c, Real v) {
+      if (c >= 0 && c < n) M.setValue(r, c, v);
+    };
+    link(r, 4.0 / 9);
+    if (x > 0) link(r - 1, 1.0 / 9);
+    if (x < side - 1) link(r + 1, 1.0 / 9);
+    if (y > 0) link(r - side, 1.0 / 9);
+    if (y < side - 1) link(r + side, 1.0 / 9);
+  }
+  M.assemblyEnd();
+}
+
+void jacobiSolve(const la::CsrMatrix& M, const std::vector<Real>& b,
+                 std::vector<Real>& x, int iters) {
+  std::vector<Real> y;
+  x.assign(b.size(), 0.0);
+  for (int it = 0; it < iters; ++it) {
+    M.multiply(x, y);
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] += (b[i] - y[i]) / M.diagonal(static_cast<GlobalIdx>(i));
+  }
+}
+
+void BM_VuSolveWithReuse(benchmark::State& state) {
+  const int n = 16384, dim = 3;
+  la::CsrMatrix M(n, n);
+  buildMass(n, M);  // assembled once, outside the loop: pattern + values
+  std::vector<Real> b(n, 1.0), x;
+  for (auto _ : state) {
+    for (int a = 0; a < dim; ++a) jacobiSolve(M, b, x, 20);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+
+void BM_VuSolveReassemblePerDirection(benchmark::State& state) {
+  const int n = 16384, dim = 3;
+  std::vector<Real> b(n, 1.0), x;
+  for (auto _ : state) {
+    for (int a = 0; a < dim; ++a) {
+      la::CsrMatrix M(n, n);  // re-assembled for every direction
+      buildMass(n, M);
+      jacobiSolve(M, b, x, 20);
+    }
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+
+BENCHMARK(BM_SpmvAij)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_SpmvBaij)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_VuSolveWithReuse);
+BENCHMARK(BM_VuSolveReassemblePerDirection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The memory-footprint side of the VU remark: N x k vs N x DIM x k.
+  const long N = 1'000'000, k = 27;
+  std::printf("VU-solve assembled matrix footprint (paper Sec II-A Remark):\n"
+              "  split per-direction (N x k):    %ld nonzeros\n"
+              "  monolithic (N x DIM x k, 3D):   %ld nonzeros  (3x larger)\n\n",
+              N * k, N * 3 * k);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

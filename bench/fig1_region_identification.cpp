@@ -1,0 +1,86 @@
+// Fig 1 reproduction: identification of key regions — a small drop (1a)
+// and a long filament attached to a large structure (1b) — on both the
+// uniform-mesh reference pipeline and the octree algorithm, plus the
+// negative control (a large drop must NOT be flagged).
+#include <cstdio>
+
+#include "apps/fields.hpp"
+#include "localcahn/identifier.hpp"
+#include "localcahn/uniform.hpp"
+#include "support/csv.hpp"
+
+using namespace pt;
+
+namespace {
+
+struct Case {
+  const char* name;
+  std::function<Real(const VecN<2>&)> phi;
+  bool expectDetection;
+};
+
+}  // namespace
+
+int main() {
+  const Real eps = 0.008;
+  std::vector<Case> cases = {
+      {"Fig1a small drop",
+       [=](const VecN<2>& x) {
+         return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.05, eps);
+       },
+       true},
+      {"Fig1b filament on blob",
+       [=](const VecN<2>& x) { return apps::lollipopPhi<2>(x, eps); },
+       true},
+      {"control: large drop",
+       [=](const VecN<2>& x) {
+         return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.3, eps);
+       },
+       false},
+      {"control: pure bulk", [](const VecN<2>&) { return 1.0; }, false},
+  };
+
+  localcahn::UniformIdentifyParams up;
+  up.erodeSteps = 5;
+  up.extraDilateSteps = 4;
+  localcahn::IdentifyParams op;
+  op.erodeSteps = 5;
+  op.extraDilateSteps = 4;
+
+  sim::SimComm comm(4, sim::Machine::loopback());
+  const Level L = 7;
+  auto dist = DistTree<2>::fromGlobal(comm, uniformTree<2>(L));
+  auto mesh = Mesh<2>::build(comm, dist);
+
+  Table t({"case", "uniform_pixels", "octree_elements", "expected",
+           "verdict"});
+  const int n = 1 << L;
+  bool allOk = true;
+  for (const auto& c : cases) {
+    std::vector<Real> img(n * n);
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x)
+        img[y * n + x] = c.phi(VecN<2>{{(x + 0.5) / n, (y + 0.5) / n}});
+    const long pixels = localcahn::identifyUniform(img, n, n, up).count();
+
+    Field phi = mesh.makeField(1);
+    fem::setByPosition<2>(mesh, phi, 1,
+                          [&](const VecN<2>& x, Real* v) { v[0] = c.phi(x); });
+    auto cn = localcahn::identifyLocalCahn(mesh, phi, L, op);
+    long elems = 0;
+    for (int r = 0; r < comm.size(); ++r)
+      for (Real v : cn[r]) elems += (v == op.cnFine);
+
+    const bool uniformDetect = pixels > 0, octreeDetect = elems > 0;
+    const bool ok = uniformDetect == c.expectDetection &&
+                    octreeDetect == c.expectDetection;
+    allOk = allOk && ok;
+    t.addRow(c.name, pixels, elems, c.expectDetection ? "detect" : "ignore",
+             ok ? "OK" : "MISMATCH");
+  }
+  t.print(std::cout, "Fig 1 — erosion/dilation region identification");
+  std::printf("\n%s: uniform pipeline and octree Algorithms 1-4 agree on all "
+              "cases\n",
+              allOk ? "PASS" : "FAIL");
+  return allOk ? 0 : 1;
+}

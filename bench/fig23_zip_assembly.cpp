@@ -1,0 +1,205 @@
+// Figs 2-3 reproduction: zip/unzip assembly layouts and GEMM/GEMV-form
+// elemental operators (paper Sec II-D), measured as REAL wall time with
+// google-benchmark on this machine.
+//
+//  - VectorAssemblyStrided: per-dof elemental vector assembly writing
+//    directly into the node-major (strided) global layout.
+//  - VectorAssemblyZipped:  zip -> unit-stride per-dof assembly -> unzip.
+//  - MatrixAssemblyStrided / MatrixAssemblyZipped: same for the elemental
+//    matrix; per the paper, the zipped variant never zips explicitly — it
+//    assembles into zero-initialized dof panels and unzips once.
+//  - GemvOperator vs NaiveOperator: the elemental apply expressed as
+//    B^T (D (B u)) versus the plain quadrature loop.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fem/basis.hpp"
+#include "fem/elem_ops.hpp"
+#include "fem/layout.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace pt;
+
+constexpr int kNodes2d = 4, kNodes3d = 8;
+
+/// Simulated per-dof elemental vector assembly: for each dof, loop basis
+/// functions accumulating a quadrature-like expression. The work per entry
+/// is identical between layouts; only the write pattern differs.
+template <int NODES>
+void assemblePerDof(Real* out, int stride, int offset, const Real* coefs) {
+  for (int i = 0; i < NODES; ++i) {
+    Real acc = 0;
+    for (int j = 0; j < NODES; ++j) acc += coefs[i * NODES + j];
+    out[i * stride + offset] += acc;
+  }
+}
+
+void BM_VectorAssemblyStrided(benchmark::State& state) {
+  const int ndof = static_cast<int>(state.range(0));
+  const int nElems = 4096;
+  std::vector<Real> global(nElems * kNodes3d * ndof, 0.0);
+  std::vector<Real> coefs(kNodes3d * kNodes3d, 1.25);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      Real* base = global.data() + e * kNodes3d * ndof;
+      for (int d = 0; d < ndof; ++d)
+        assemblePerDof<kNodes3d>(base, ndof, d, coefs.data());  // strided
+    }
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nElems * ndof);
+}
+
+void BM_VectorAssemblyZipped(benchmark::State& state) {
+  const int ndof = static_cast<int>(state.range(0));
+  const int nElems = 4096;
+  std::vector<Real> global(nElems * kNodes3d * ndof, 0.0);
+  std::vector<Real> coefs(kNodes3d * kNodes3d, 1.25);
+  std::vector<Real> zipped(kNodes3d * ndof);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      Real* base = global.data() + e * kNodes3d * ndof;
+      fem::zipVec(base, zipped.data(), kNodes3d, ndof);
+      for (int d = 0; d < ndof; ++d)  // unit-stride writes per dof
+        assemblePerDof<kNodes3d>(zipped.data() + d * kNodes3d, 1, 0,
+                                 coefs.data());
+      fem::unzipVec(zipped.data(), base, kNodes3d, ndof);
+    }
+    benchmark::DoNotOptimize(global.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nElems * ndof);
+}
+
+/// Per-(dof_i, dof_j) elemental matrix assembly into a strided layout:
+/// L(dof_i, dof_j) writes (nodes x nodes) entries with stride ndof.
+void BM_MatrixAssemblyStrided(benchmark::State& state) {
+  const int ndof = static_cast<int>(state.range(0));
+  const int n = kNodes3d * ndof;
+  const int nElems = 512;
+  std::vector<Real> Ae(n * n);
+  std::vector<Real> coefs(kNodes3d * kNodes3d, 0.75);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(Ae.begin(), Ae.end(), 0.0);
+      for (int di = 0; di < ndof; ++di)
+        for (int dj = 0; dj < ndof; ++dj)
+          for (int i = 0; i < kNodes3d; ++i)
+            for (int j = 0; j < kNodes3d; ++j)
+              Ae[(i * ndof + di) * n + (j * ndof + dj)] +=
+                  coefs[i * kNodes3d + j] * (di == dj ? 2.0 : 0.5);
+      benchmark::DoNotOptimize(Ae.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems * ndof * ndof);
+}
+
+/// Zipped: assemble contiguous (nodes x nodes) panels per (dof_i, dof_j),
+/// then one unzip into the global interleaved layout.
+void BM_MatrixAssemblyZipped(benchmark::State& state) {
+  const int ndof = static_cast<int>(state.range(0));
+  const int n = kNodes3d * ndof;
+  const int nElems = 512;
+  std::vector<Real> panels(ndof * ndof * kNodes3d * kNodes3d);
+  std::vector<Real> Ae(n * n);
+  std::vector<Real> coefs(kNodes3d * kNodes3d, 0.75);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(panels.begin(), panels.end(), 0.0);
+      for (int di = 0; di < ndof; ++di)
+        for (int dj = 0; dj < ndof; ++dj) {
+          Real* p = panels.data() + (di * ndof + dj) * kNodes3d * kNodes3d;
+          for (int i = 0; i < kNodes3d; ++i)
+            for (int j = 0; j < kNodes3d; ++j)
+              p[i * kNodes3d + j] +=
+                  coefs[i * kNodes3d + j] * (di == dj ? 2.0 : 0.5);
+        }
+      fem::unzipMat(panels.data(), Ae.data(), kNodes3d, ndof);
+      benchmark::DoNotOptimize(Ae.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems * ndof * ndof);
+}
+
+void BM_NaiveOperator2D(benchmark::State& state) {
+  const int nElems = 8192;
+  std::vector<Real> u(kNodes2d, 1.0), y(kNodes2d);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(y.begin(), y.end(), 0.0);
+      fem::applyMass<2>(0.01, u.data(), y.data());
+      fem::applyStiffness<2>(0.01, u.data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems);
+}
+
+void BM_GemvOperator2D(benchmark::State& state) {
+  const int nElems = 8192;
+  std::vector<Real> u(kNodes2d, 1.0), y(kNodes2d);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(y.begin(), y.end(), 0.0);
+      fem::applyGemvOperator<2>(0.01, 1.0, 1.0, u.data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems);
+}
+
+void BM_NaiveOperator3D(benchmark::State& state) {
+  const int nElems = 4096;
+  std::vector<Real> u(kNodes3d, 1.0), y(kNodes3d);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(y.begin(), y.end(), 0.0);
+      fem::applyMass<3>(0.01, u.data(), y.data());
+      fem::applyStiffness<3>(0.01, u.data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems);
+}
+
+void BM_GemvOperator3D(benchmark::State& state) {
+  const int nElems = 4096;
+  std::vector<Real> u(kNodes3d, 1.0), y(kNodes3d);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(y.begin(), y.end(), 0.0);
+      fem::applyGemvOperator<3>(0.01, 1.0, 1.0, u.data(), y.data());
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems);
+}
+
+void BM_GemmMatrixAssembly3D(benchmark::State& state) {
+  const int nElems = 2048;
+  std::vector<Real> Ae(kNodes3d * kNodes3d);
+  for (auto _ : state) {
+    for (int e = 0; e < nElems; ++e) {
+      std::fill(Ae.begin(), Ae.end(), 0.0);
+      fem::assembleGemmOperator<3>(0.01, 1.0, 1.0, Ae.data());
+      benchmark::DoNotOptimize(Ae.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * nElems);
+}
+
+BENCHMARK(BM_VectorAssemblyStrided)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_VectorAssemblyZipped)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_MatrixAssemblyStrided)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_MatrixAssemblyZipped)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_NaiveOperator2D);
+BENCHMARK(BM_GemvOperator2D);
+BENCHMARK(BM_NaiveOperator3D);
+BENCHMARK(BM_GemvOperator3D);
+BENCHMARK(BM_GemmMatrixAssembly3D);
+
+}  // namespace
+
+BENCHMARK_MAIN();

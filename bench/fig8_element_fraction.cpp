@@ -1,0 +1,119 @@
+// Fig 8 reproduction: element fraction per octree level for the jet
+// atomization run. The paper's signature: the finest level holds the
+// LARGEST element fraction while covering a vanishing share (~0.01%) of the
+// domain volume, with the two next-coarser interface levels holding ~25% —
+// the quantitative statement of why adaptivity makes the run feasible.
+// (Our run is the scaled-down jet; levels shift down but the shape holds.)
+#include <cstdio>
+
+#include "apps/fields.hpp"
+#include "chns/solver.hpp"
+#include "support/csv.hpp"
+
+using namespace pt;
+
+int main() {
+  sim::SimComm comm(4, sim::Machine::loopback());
+  chns::ChnsOptions<2> opt;
+  opt.params.Re = 200;
+  opt.params.We = 20;
+  opt.params.Pe = 200;
+  opt.params.Cn = 0.02;
+  opt.params.rhoMinus = 0.05;
+  opt.params.etaMinus = 0.2;
+  opt.dt = 1e-3;
+  opt.remeshEvery = 2;
+  opt.coarseLevel = 3;
+  opt.interfaceLevel = 6;
+  opt.featureLevel = 8;  // 2-level gap, as interface 13 vs features 15
+  opt.referenceLevel = 8;
+  opt.identify.cnCoarse = opt.params.Cn;
+  opt.identify.cnFine = opt.params.Cn / 2;
+  opt.identify.erodeSteps = 5;
+  opt.identify.extraDilateSteps = 3;
+  opt.identify.delta = -0.6;
+
+  const Real jetR = 0.12;
+  opt.velocityBc = [=](const VecN<2>& x, Real* v) {
+    v[0] = v[1] = 0.0;
+    if (x[0] < 1e-12 && std::abs(x[1] - 0.5) < jetR)
+      v[0] = 1.0 - std::pow(std::abs(x[1] - 0.5) / jetR, 2.0);
+  };
+  // Fully-developed atomization snapshot: the jet column plus a spray of
+  // ligaments and droplets downstream (at the paper's scale the droplet
+  // field dominates the element count at the finest level).
+  auto initialPhi = [&](const VecN<2>& x) {
+    Real phi = apps::jetPhi<2>(x, jetR, 0.25, opt.params.Cn, 0.15, 50.0);
+    phi = apps::phaseUnion(
+        phi, apps::filamentPhi<2>(x, VecN<2>{{0.25, 0.5}},
+                                  VecN<2>{{0.48, 0.55}}, 0.035,
+                                  opt.params.Cn));
+    phi = apps::phaseUnion(
+        phi, apps::filamentPhi<2>(x, VecN<2>{{0.3, 0.42}},
+                                  VecN<2>{{0.52, 0.33}}, 0.03,
+                                  opt.params.Cn));
+    // Well-separated droplets (merged droplets stop being "thin features").
+    const Real dropX[] = {0.56, 0.60, 0.70, 0.74, 0.78, 0.84, 0.88, 0.64};
+    const Real dropY[] = {0.62, 0.33, 0.48, 0.70, 0.28, 0.55, 0.38, 0.78};
+    const Real dropR[] = {0.038, 0.04, 0.036, 0.04, 0.035, 0.038, 0.036,
+                          0.035};
+    for (int i = 0; i < 8; ++i)
+      phi = apps::phaseUnion(
+          phi, apps::dropPhi<2>(x, VecN<2>{{dropX[i], dropY[i]}}, dropR[i],
+                                opt.params.Cn));
+    return phi;
+  };
+
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition(initialPhi, [&](const VecN<2>& x, Real* v) {
+    v[0] = v[1] = 0.0;
+    if (initialPhi(x) < 0) v[0] = 1.0;
+  });
+  // Converge the initial mesh: remesh + re-sample the analytic IC until
+  // the features are represented at their target resolution (otherwise
+  // under-resolved droplets dissolve before the identifier can see them).
+  for (int it = 0; it < 3; ++it) {
+    s.remeshNow();
+    s.setInitialCondition(initialPhi, [&](const VecN<2>& x, Real* v) {
+      v[0] = v[1] = 0.0;
+      if (initialPhi(x) < 0) v[0] = 1.0;
+    });
+  }
+  for (int step = 0; step < 6; ++step) s.step();
+
+  auto leaves = s.tree().gather();
+  auto hist = levelHistogram(leaves);
+  std::size_t total = 0;
+  for (auto h : hist) total += h;
+  std::vector<Real> volume(kMaxLevel + 1, 0.0);
+  for (const auto& o : leaves)
+    volume[o.level] += o.physSize() * o.physSize();
+
+  Table t({"level", "elements", "element_fraction[%]", "volume_fraction[%]"});
+  int finest = 0, maxLevel = 0;
+  std::size_t maxCount = 0;
+  for (int l = 0; l <= kMaxLevel; ++l) {
+    if (!hist[l]) continue;
+    t.addRow(l, hist[l], 100.0 * hist[l] / total, 100.0 * volume[l]);
+    if (hist[l] > maxCount) {
+      maxCount = hist[l];
+      maxLevel = l;
+    }
+    finest = l;
+  }
+  t.print(std::cout,
+          "Fig 8 — element fraction vs octree level (jet atomization)");
+
+  std::printf("\npaper shape checks:\n");
+  std::printf("  finest level (L%d) holds the max element fraction: %s "
+              "(max at L%d)\n",
+              finest, maxLevel == finest ? "yes" : "NO", maxLevel);
+  std::printf("  finest level covers only %.3f%% of the volume "
+              "(paper: level 15 covers 0.01%%)\n",
+              100.0 * volume[finest]);
+  std::printf("  next two levels hold %.1f%% of elements "
+              "(paper: levels 13-14 hold ~25%%)\n",
+              100.0 * (hist[finest - 1] + hist[finest - 2]) / total);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Primary jet atomization — the paper's flagship application (Sec IV),
+// scaled down to a single workstation: a liquid jet enters from the x=0
+// face, the local-Cahn identifier detects filaments/droplets shed from its
+// tip, and the mesh selectively refines those features while the interface
+// proper runs at a lower level. Reports the element-fraction-per-level
+// histogram (the paper's Fig 8 diagnostic) as the run progresses.
+//
+// Run:  ./examples/jet_atomization
+#include <cstdio>
+
+#include "apps/fields.hpp"
+#include "chns/solver.hpp"
+#include "io/vtk.hpp"
+
+using namespace pt;
+
+int main() {
+  sim::SimComm comm(4, sim::Machine::loopback());
+
+  chns::ChnsOptions<2> opt;
+  opt.params.Re = 200;
+  opt.params.We = 20;
+  opt.params.Pe = 200;
+  opt.params.Cn = 0.02;
+  opt.params.rhoMinus = 0.05;  // dense liquid jet (phi=-1) into light gas
+  opt.params.etaMinus = 0.2;
+  opt.dt = 1e-3;
+  opt.remeshEvery = 3;
+  opt.coarseLevel = 3;
+  opt.interfaceLevel = 6;
+  opt.featureLevel = 7;  // key features resolved 1 level deeper (local Cn)
+  opt.referenceLevel = 7;
+  opt.identify.cnCoarse = opt.params.Cn;
+  opt.identify.cnFine = opt.params.Cn / 2;
+  opt.identify.erodeSteps = 3;
+  // Scaled-down regime: the tanh shell is ~2.8*Cn wide, so a tighter
+  // threshold would swallow the thin features' cores entirely.
+  opt.identify.delta = -0.6;
+  opt.identify.extraDilateSteps = 3;
+
+  const Real jetR = 0.12, jetSpeed = 1.0;
+  // Inflow on the x=0 face inside the nozzle radius; no-slip elsewhere.
+  opt.velocityBc = [=](const VecN<2>& x, Real* v) {
+    v[0] = v[1] = 0.0;
+    if (x[0] < 1e-12 && std::abs(x[1] - 0.5) < jetR) {
+      const Real s = std::abs(x[1] - 0.5) / jetR;
+      v[0] = jetSpeed * (1.0 - s * s);  // parabolic inflow
+    }
+  };
+
+  // Initial condition: a snapshot of primary atomization in progress —
+  // the jet column plus a thin ligament shedding from the tip and two
+  // satellite droplets ahead of it. The ligament and droplets are the
+  // features the local-Cahn identifier must flag.
+  auto initialPhi = [&](const VecN<2>& x) {
+    Real phi = apps::jetPhi<2>(x, jetR, /*tip=*/0.25, opt.params.Cn,
+                               /*perturbAmp=*/0.15, /*perturbK=*/50.0);
+    phi = apps::phaseUnion(
+        phi, apps::filamentPhi<2>(x, VecN<2>{{0.25, 0.5}},
+                                  VecN<2>{{0.48, 0.55}}, 0.035,
+                                  opt.params.Cn));
+    phi = apps::phaseUnion(
+        phi, apps::dropPhi<2>(x, VecN<2>{{0.56, 0.57}}, 0.045,
+                              opt.params.Cn));
+    phi = apps::phaseUnion(
+        phi, apps::dropPhi<2>(x, VecN<2>{{0.64, 0.48}}, 0.04,
+                              opt.params.Cn));
+    return phi;
+  };
+
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition(initialPhi,
+      [&](const VecN<2>& x, Real* v) {
+        v[0] = v[1] = 0.0;
+        if (initialPhi(x) < 0) v[0] = jetSpeed;  // liquid moves with inflow
+      });
+  // Converge the initial mesh: remesh + re-sample the analytic IC until
+  // the features are represented at their target resolution (otherwise
+  // under-resolved droplets dissolve before the identifier can see them).
+  for (int it = 0; it < 3; ++it) {
+    s.remeshNow();
+    s.setInitialCondition(initialPhi, [&](const VecN<2>& x, Real* v) {
+      v[0] = v[1] = 0.0;
+      if (initialPhi(x) < 0) v[0] = 1.0;
+    });
+  }
+
+  auto printHistogram = [&](int step) {
+    auto hist = levelHistogram(s.tree().gather());
+    std::size_t total = 0;
+    for (auto h : hist) total += h;
+    std::printf("step %3d | %7zu elems | level fractions:", step, total);
+    for (int l = 0; l <= 8; ++l)
+      if (hist[l])
+        std::printf("  L%d %.1f%%", l, 100.0 * hist[l] / total);
+    // Volume fraction of the finest level (paper: level 15 holds the max
+    // element fraction but only ~0.01% of the volume).
+    int finest = 0;
+    for (int l = 15; l >= 0; --l)
+      if (hist[l]) {
+        finest = l;
+        break;
+      }
+    Real vol = 0;
+    for (const auto& o : s.tree().gather())
+      if (o.level == finest) vol += o.physSize() * o.physSize();
+    std::printf("  | finest L%d covers %.3f%% of volume\n", finest,
+                100.0 * vol);
+  };
+
+  std::printf("jet atomization: R=%.2f, levels %d..%d (features at %d)\n",
+              jetR, int(opt.coarseLevel), int(opt.interfaceLevel),
+              int(opt.featureLevel));
+  printHistogram(0);
+  for (int step = 1; step <= 12; ++step) {
+    s.step();
+    if (step % 3 == 0) printHistogram(step);
+  }
+
+  // Count reduced-Cn elements = detected filaments/droplets.
+  int fine = 0;
+  for (int r = 0; r < comm.size(); ++r)
+    for (Real v : s.elemCn()[r]) fine += (v == opt.identify.cnFine);
+  std::printf("elements flagged by the local-Cahn identifier: %d\n", fine);
+
+  io::writeVtk<2>("jet_atomization.vtk", s.mesh(),
+                  {{"phi", &s.phi(), 1},
+                   {"vel", &s.velocity(), 2},
+                   {"p", &s.pressure(), 1}},
+                  {{"cn", &s.elemCn()}});
+  std::printf("wrote jet_atomization.vtk\n");
+
+  std::printf("\nper-phase solver time (paper Fig 5 decomposition):\n");
+  for (const auto& [name, t] : s.timers().all())
+    std::printf("  %-10s %8.3f s over %ld calls\n", name.c_str(), t.seconds(),
+                t.calls());
+  return 0;
+}

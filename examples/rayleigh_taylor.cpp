@@ -1,0 +1,108 @@
+// Rayleigh-Taylor instability: a heavy fluid resting on a light one under
+// gravity; a cosine perturbation of the interface grows into the classic
+// spike-and-bubble pattern. Demonstrates the density-contrast CHNS physics
+// with interface-following adaptive remeshing, and reports the interface
+// amplitude growth over time.
+//
+// Run:  ./examples/rayleigh_taylor
+#include <cstdio>
+
+#include "apps/fields.hpp"
+#include "chns/solver.hpp"
+#include "io/vtk.hpp"
+
+using namespace pt;
+
+namespace {
+
+/// Interface amplitude: spread of the phi = 0 crossing height across x.
+Real interfaceAmplitude(chns::ChnsSolver<2>& s) {
+  Real yMin = 1.0, yMax = 0.0;
+  for (int r = 0; r < s.mesh().nRanks(); ++r) {
+    const auto& rm = s.mesh().rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+      if (std::abs(s.phi()[r][li]) > 0.2) continue;  // near the interface
+      const Real y = nodeCoords(rm.nodeKeys[li])[1];
+      yMin = std::min(yMin, y);
+      yMax = std::max(yMax, y);
+    }
+  }
+  return yMax - yMin;
+}
+
+}  // namespace
+
+int main() {
+  sim::SimComm comm(4, sim::Machine::loopback());
+
+  chns::ChnsOptions<2> opt;
+  opt.params.Re = 100;
+  opt.params.We = 50;      // weak surface tension (RT-unstable)
+  opt.params.Pe = 100;
+  opt.params.Cn = 0.025;
+  opt.params.rhoMinus = 0.33;  // light fluid below (phi = -1)
+  opt.params.etaMinus = 1.0;
+  opt.params.Fr = 0.25;        // strong gravity
+  opt.params.gravityDir = 1;   // along -y
+  opt.dt = 2e-3;
+  opt.remeshEvery = 5;
+  opt.coarseLevel = 3;
+  opt.interfaceLevel = 6;
+  opt.featureLevel = 6;
+  opt.referenceLevel = 6;
+  opt.identify.cnCoarse = opt.params.Cn;
+  opt.identify.cnFine = opt.params.Cn / 2;
+
+  // Heavy (phi = +1, rho = rhoPlus = 1) on top, light (phi = -1) below:
+  // tanhProfile is -1 below the perturbed interface and +1 above it.
+  const Real amp0 = 0.02;
+  auto phiFn = [&](const VecN<2>& x) {
+    const Real yInterface = 0.5 + amp0 * std::cos(2 * M_PI * x[0]);
+    return apps::tanhProfile(x[1] - yInterface, opt.params.Cn);
+  };
+
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition(phiFn);
+  for (int it = 0; it < 2; ++it) {
+    s.remeshNow();
+    s.setInitialCondition(phiFn);
+  }
+
+  std::printf("Rayleigh-Taylor: Atwood number %.2f, Fr %.2f, Cn %.3f\n",
+              (1 - opt.params.rhoMinus) / (1 + opt.params.rhoMinus),
+              opt.params.Fr, opt.params.Cn);
+  std::printf("%-6s %-10s %-12s %-10s %-8s\n", "step", "t", "amplitude",
+              "max|v|", "elems");
+  const Real a0 = interfaceAmplitude(s);
+  std::printf("%-6d %-10.4f %-12.6f %-10.3e %-8zu\n", 0, 0.0, a0, 0.0,
+              s.mesh().globalElemCount());
+  Real aLast = a0, vFirst = 0, vLast = 0;
+  for (int step = 1; step <= 25; ++step) {
+    s.step();
+    if (step == 5) vFirst = s.maxVelocity();
+    if (step % 5 == 0) {
+      aLast = interfaceAmplitude(s);
+      vLast = s.maxVelocity();
+      std::printf("%-6d %-10.4f %-12.6f %-10.3e %-8zu\n", step,
+                  step * opt.dt, aLast, vLast,
+                  s.mesh().globalElemCount());
+    }
+  }
+  // Early in the run the interface displacement is sub-cell (the node-based
+  // amplitude is h-quantized); the exponential velocity growth is the
+  // instability signature.
+  std::printf("amplitude: %.4f -> %.4f; max|v| growth: %.2e -> %.2e "
+              "(%.1fx) — %s\n",
+              a0, aLast, vFirst, vLast, vLast / vFirst,
+              vLast > 1.5 * vFirst ? "RT instability growing, as expected"
+                                   : "stable");
+
+  io::writeVtk<2>("rayleigh_taylor.vtk", s.mesh(),
+                  {{"phi", &s.phi(), 1},
+                   {"vel", &s.velocity(), 2},
+                   {"p", &s.pressure(), 1}},
+                  {{"cn", &s.elemCn()}});
+  std::printf("wrote rayleigh_taylor.vtk\n");
+  return 0;
+}

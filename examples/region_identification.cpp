@@ -1,0 +1,91 @@
+// Region identification demo (paper Fig 1): run the erosion/dilation
+// local-Cahn identifier on the "lollipop" field — a large blob with an
+// attached thin filament — where connected-component labeling would see a
+// single object, but the morphology pipeline flags exactly the filament
+// and any small drops.
+//
+// Run:  ./examples/region_identification
+#include <cstdio>
+
+#include "apps/fields.hpp"
+#include "io/vtk.hpp"
+#include "localcahn/identifier.hpp"
+#include "localcahn/uniform.hpp"
+#include "octree/balance.hpp"
+
+using namespace pt;
+
+int main() {
+  const Real eps = 0.008;
+  auto phiFn = [&](const VecN<2>& x) {
+    // Lollipop + one satellite droplet.
+    return apps::phaseUnion(
+        apps::lollipopPhi<2>(x, eps),
+        apps::dropPhi<2>(x, VecN<2>{{0.2, 0.8}}, 0.04, eps));
+  };
+
+  // --- Uniform-mesh reference (Sec II-B1) -----------------------------------
+  const int n = 128;
+  std::vector<Real> img(n * n);
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      img[y * n + x] = phiFn(VecN<2>{{(x + 0.5) / n, (y + 0.5) / n}});
+  auto roi = localcahn::identifyUniform(
+      img, n, n,
+      {.delta = -0.8, .immersedNegative = true, .erodeSteps = 3,
+       .extraDilateSteps = 4});
+  std::printf("uniform %dx%d: %ld pixels in regions of interest\n", n, n,
+              roi.count());
+
+  // --- Octree version (Sec II-B3, Algorithms 1-4) ----------------------------
+  sim::SimComm comm(4, sim::Machine::loopback());
+  OctList<2> tree;
+  const Level L = 7;
+  buildTree<2>(
+      Octant<2>::root(),
+      [&](const Octant<2>& o) {
+        const Real phi = phiFn(o.centerCoords());
+        return std::abs(phi) < 0.99 ? L : Level(4);
+      },
+      tree);
+  tree = balanceTree(tree);
+  auto dist = DistTree<2>::fromGlobal(comm, tree);
+  auto mesh = Mesh<2>::build(comm, dist);
+  std::printf("octree: %zu elements (adaptive, levels 4..%d)\n",
+              mesh.globalElemCount(), int(L));
+
+  Field phi = mesh.makeField(1);
+  fem::setByPosition<2>(mesh, phi, 1, [&](const VecN<2>& x, Real* v) {
+    v[0] = phiFn(x);
+  });
+
+  localcahn::IdentifyParams prm;
+  prm.erodeSteps = 3;
+  prm.extraDilateSteps = 4;
+  prm.cnCoarse = 0.02;
+  prm.cnFine = 0.01;
+  auto cn = localcahn::identifyLocalCahn(mesh, phi, L, prm);
+
+  int fine = 0, total = 0;
+  Real fineVolume = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    const auto& rm = mesh.rank(r);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      ++total;
+      if (cn[r][e] == prm.cnFine) {
+        ++fine;
+        fineVolume += rm.elems[e].physSize() * rm.elems[e].physSize();
+      }
+    }
+  }
+  std::printf("identified %d / %d elements for reduced Cahn "
+              "(%.2f%% of the domain volume)\n",
+              fine, total, 100.0 * fineVolume);
+  std::printf("-> these are the filament and the satellite drop; the blob "
+              "interior is untouched.\n");
+
+  io::writeVtk<2>("region_identification.vtk", mesh, {{"phi", &phi, 1}},
+                  {{"cn", &cn}});
+  std::printf("wrote region_identification.vtk (color by 'cn')\n");
+  return 0;
+}

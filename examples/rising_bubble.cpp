@@ -1,0 +1,94 @@
+// Rising bubble: a light bubble (phi = -1 phase) rises through a heavy
+// liquid under gravity — the canonical two-phase benchmark, here with
+// adaptive remeshing following the interface. Tracks the bubble centroid
+// and rise velocity over time.
+//
+// Run:  ./examples/rising_bubble
+#include <cstdio>
+
+#include "apps/fields.hpp"
+#include "chns/solver.hpp"
+#include "io/vtk.hpp"
+
+using namespace pt;
+
+namespace {
+
+Real bubbleCentroidY(chns::ChnsSolver<2>& s) {
+  Real num = 0, den = 0;
+  Field ind = s.mesh().makeField(1), Mi = s.mesh().makeField(1);
+  for (int r = 0; r < s.mesh().nRanks(); ++r)
+    for (std::size_t li = 0; li < s.mesh().rank(r).nNodes(); ++li)
+      ind[r][li] = 0.5 * (1.0 - s.phi()[r][li]);
+  fem::massMatvec(s.mesh(), ind, Mi);
+  for (int r = 0; r < s.mesh().nRanks(); ++r) {
+    const auto& rm = s.mesh().rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+      if (rm.nodeOwner[li] != r) continue;
+      num += nodeCoords(rm.nodeKeys[li])[1] * Mi[r][li];
+      den += Mi[r][li];
+    }
+  }
+  return num / den;
+}
+
+}  // namespace
+
+int main() {
+  sim::SimComm comm(4, sim::Machine::loopback());
+
+  chns::ChnsOptions<2> opt;
+  opt.params.Re = 35;
+  opt.params.We = 10;
+  opt.params.Pe = 100;
+  opt.params.Cn = 0.03;
+  opt.params.rhoMinus = 0.1;  // bubble 10x lighter
+  opt.params.etaMinus = 0.1;
+  opt.params.Fr = 0.4;
+  opt.params.gravityDir = 1;  // gravity along -y
+  opt.dt = 2e-3;
+  opt.remeshEvery = 4;
+  opt.coarseLevel = 3;
+  opt.interfaceLevel = 6;
+  opt.featureLevel = 6;
+  opt.referenceLevel = 6;
+  opt.identify.cnCoarse = opt.params.Cn;
+  opt.identify.cnFine = opt.params.Cn / 2;
+
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition([&](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.3}}, 0.15, opt.params.Cn);
+  });
+  s.remeshNow();  // adapt the initial mesh to the interface
+
+  std::printf("rising bubble: rho ratio %.1f, eta ratio %.1f, Fr %.2f\n",
+              opt.params.rhoPlus / opt.params.rhoMinus,
+              opt.params.etaPlus / opt.params.etaMinus, opt.params.Fr);
+  std::printf("%-6s %-10s %-12s %-12s %-10s %-8s\n", "step", "t", "centroidY",
+              "riseVel", "max|v|", "elems");
+
+  Real yPrev = bubbleCentroidY(s);
+  const Real y0 = yPrev;
+  for (int step = 1; step <= 20; ++step) {
+    s.step();
+    const Real y = bubbleCentroidY(s);
+    std::printf("%-6d %-10.4f %-12.6f %-12.4e %-10.3e %-8zu\n", step,
+                step * opt.dt, y, (y - yPrev) / opt.dt, s.maxVelocity(),
+                s.mesh().globalElemCount());
+    yPrev = y;
+  }
+  std::printf("total rise: %.5f (must be > 0 for a buoyant bubble)\n",
+              yPrev - y0);
+
+  io::writeVtk<2>("rising_bubble.vtk", s.mesh(),
+                  {{"phi", &s.phi(), 1}, {"vel", &s.velocity(), 2}},
+                  {{"cn", &s.elemCn()}});
+  std::printf("wrote rising_bubble.vtk\n");
+
+  std::printf("\nper-phase solver time (paper Fig 5 decomposition):\n");
+  for (const auto& [name, t] : s.timers().all())
+    std::printf("  %-10s %8.3f s over %ld calls\n", name.c_str(), t.seconds(),
+                t.calls());
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Algorithm 6 of the paper: COARSEN — replace leaves of a linearized octree
+// by ancestors at requested (possibly much coarser) levels, subject to
+// consensus: an ancestor A is emitted iff (i) no input descendant of A votes
+// to keep a level finer than A and (ii) the parent of A fails (i).
+//
+// The traversal is post-order with a pure stack (push/pop) output interface,
+// exactly as the paper describes: children emit tentatively and the parent
+// retracts their output if the whole subtree can be promoted.
+//
+// Two modes:
+//  - tentative  (requireFullCoverage = false): subtrees with missing inputs
+//    may still be promoted. Used by the first pass of PARCOARSEN, where a
+//    rank only holds a contiguous SFC segment of the global input.
+//  - exact      (requireFullCoverage = true): an ancestor is emitted only if
+//    the inputs fully tile it. This is what makes domain tests redundant for
+//    incomplete octrees ("the input octree already contains the needed
+//    information", Sec II-C1c option one discussion).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "octree/tree.hpp"
+#include "support/check.hpp"
+
+namespace pt {
+
+namespace detail {
+
+struct CoarsenVote {
+  Level coarsenTo = 0;  ///< finest level any descendant demands
+  bool covered = true;  ///< inputs fully tile the subtree
+  bool any = false;     ///< subtree contains at least one input
+};
+
+template <int DIM>
+CoarsenVote coarsenRec(const OctList<DIM>& in, const std::vector<Level>& levels,
+                       std::size_t& idx, OctList<DIM>& out,
+                       const Octant<DIM>& R, bool requireFullCoverage) {
+  if (idx >= in.size() || !overlaps(R, in[idx]))
+    return {0, false, false};  // empty subtree: votes for any coarsening
+  if (R.level < in[idx].level) {
+    const std::size_t preSize = out.size();
+    CoarsenVote vote{0, true, false};
+    for (int c = 0; c < kNumChildren<DIM>; ++c) {
+      CoarsenVote v = coarsenRec(in, levels, idx, out, R.child(c),
+                                 requireFullCoverage);
+      vote.coarsenTo = std::max(vote.coarsenTo, v.coarsenTo);
+      vote.covered = vote.covered && (v.covered || !v.any);
+      if (requireFullCoverage) vote.covered = vote.covered && v.any;
+      vote.any = vote.any || v.any;
+    }
+    const bool coverageOk = !requireFullCoverage || vote.covered;
+    if (vote.any && coverageOk && vote.coarsenTo <= R.level) {
+      // Undo the children's emits and promote the whole subtree to R.
+      out.resize(preSize);
+      out.push_back(R);
+    }
+    return vote;
+  }
+  // R equals the current input leaf (the traversal follows its anchor path).
+  out.push_back(R);
+  CoarsenVote vote{levels[idx], true, true};
+  while (idx < in.size() && in[idx] == R) ++idx;
+  return vote;
+}
+
+}  // namespace detail
+
+/// Multi-level coarsening (Algorithm 6). `levels[i]` is the *coarsest
+/// acceptable* level for leaf `in[i]`; values above the leaf's level are
+/// clamped (a leaf always accepts staying put). Input must be linearized.
+template <int DIM>
+OctList<DIM> coarsen(const OctList<DIM>& in, std::vector<Level> levels,
+                     bool requireFullCoverage = true) {
+  PT_CHECK(in.size() == levels.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    levels[i] = std::min(levels[i], in[i].level);
+  OctList<DIM> out;
+  out.reserve(in.size());
+  std::size_t idx = 0;
+  detail::coarsenRec(in, levels, idx, out, Octant<DIM>::root(),
+                     requireFullCoverage);
+  PT_CHECK_MSG(idx == in.size(), "coarsen consumed all inputs");
+  return out;
+}
+
+/// Convenience overload: coarsest acceptable level from a callback.
+template <int DIM>
+OctList<DIM> coarsen(const OctList<DIM>& in,
+                     const std::function<Level(const Octant<DIM>&)>& accept,
+                     bool requireFullCoverage = true) {
+  std::vector<Level> levels(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) levels[i] = accept(in[i]);
+  return coarsen(in, std::move(levels), requireFullCoverage);
+}
+
+/// Ablation baseline: coarsen one level per pass — replace complete sibling
+/// groups whose members all accept the parent level — until a fixed point.
+template <int DIM>
+OctList<DIM> coarsenLevelByLevel(const OctList<DIM>& in,
+                                 const std::vector<Level>& levels) {
+  PT_CHECK(in.size() == levels.size());
+  struct Item {
+    Octant<DIM> oct;
+    Level accept;
+  };
+  std::vector<Item> cur(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    cur[i] = {in[i], std::min(levels[i], in[i].level)};
+  bool any = true;
+  while (any) {
+    any = false;
+    std::vector<Item> next;
+    next.reserve(cur.size());
+    std::size_t i = 0;
+    while (i < cur.size()) {
+      const Octant<DIM>& o = cur[i].oct;
+      const int nc = kNumChildren<DIM>;
+      bool group = o.level > 0 && o.childIndex() == 0 &&
+                   i + nc <= cur.size();
+      if (group) {
+        const Octant<DIM> parent = o.parent();
+        Level acc = 0;
+        for (int c = 0; c < nc && group; ++c) {
+          const Item& it = cur[i + c];
+          group = it.oct.level == o.level && it.oct.parent() == parent &&
+                  it.oct.childIndex() == c && it.accept < it.oct.level;
+          if (group) acc = std::max(acc, it.accept);
+        }
+        if (group) {
+          next.push_back({parent, acc});
+          i += nc;
+          any = true;
+          continue;
+        }
+      }
+      next.push_back(cur[i]);
+      ++i;
+    }
+    cur.swap(next);
+  }
+  OctList<DIM> out(cur.size());
+  for (std::size_t i = 0; i < cur.size(); ++i) out[i] = cur[i].oct;
+  return out;
+}
+
+}  // namespace pt

@@ -1,0 +1,120 @@
+// Algorithm 5 of the paper: REFINE — replace each leaf of a linearized
+// octree by its descendants at a requested (possibly much deeper) level, in
+// a single SFC traversal, emitting output already in sorted order.
+//
+// Also provides the classical level-by-level refinement as the ablation
+// baseline (the approach of p4est/Dendro cited as refs [10-15]).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "octree/tree.hpp"
+#include "support/check.hpp"
+
+namespace pt {
+
+namespace detail {
+
+template <int DIM>
+std::array<std::uint32_t, DIM> lastPoint(const Octant<DIM>& o) {
+  std::array<std::uint32_t, DIM> p;
+  for (int d = 0; d < DIM; ++d) p[d] = o.x[d] + o.size() - 1;
+  return p;
+}
+
+/// Recursive body of Algorithm 5. `idx` is the shared input cursor.
+template <int DIM>
+void refineRec(const OctList<DIM>& in, const std::vector<Level>& levels,
+               std::size_t& idx, OctList<DIM>& out, const Octant<DIM>& R) {
+  if (idx >= in.size() || !overlaps(R, in[idx])) return;
+  if (R.level < levels[idx]) {
+    for (int c = 0; c < kNumChildren<DIM>; ++c)
+      refineRec(in, levels, idx, out, R.child(c));
+  } else {
+    out.push_back(R);
+    // Advance past every input leaf whose SFC-final point falls inside R:
+    // R is then the last emitted descendant of that leaf.
+    while (idx < in.size() && R.containsPoint(lastPoint(in[idx]))) ++idx;
+  }
+}
+
+}  // namespace detail
+
+/// Multi-level refinement (Algorithm 5). `levels[i]` is the desired level of
+/// leaf `in[i]`; values below the leaf's own level are clamped (refinement
+/// never coarsens). Input must be linearized. Output is linearized by
+/// construction.
+template <int DIM>
+OctList<DIM> refine(const OctList<DIM>& in, std::vector<Level> levels) {
+  PT_CHECK(in.size() == levels.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    levels[i] = std::max(levels[i], in[i].level);
+  OctList<DIM> out;
+  out.reserve(in.size());
+  std::size_t idx = 0;
+  detail::refineRec(in, levels, idx, out, Octant<DIM>::root());
+  PT_CHECK_MSG(idx == in.size(), "refine consumed all inputs");
+  return out;
+}
+
+/// Convenience overload: desired level from a callback.
+template <int DIM>
+OctList<DIM> refine(const OctList<DIM>& in,
+                    const std::function<Level(const Octant<DIM>&)>& want) {
+  std::vector<Level> levels(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) levels[i] = want(in[i]);
+  return refine(in, std::move(levels));
+}
+
+/// Ablation baseline: refine one level at a time, re-sorting between passes,
+/// as done by frameworks that only support single-level refinement.
+template <int DIM>
+OctList<DIM> refineLevelByLevel(const OctList<DIM>& in,
+                                const std::vector<Level>& levels) {
+  PT_CHECK(in.size() == levels.size());
+  struct Item {
+    Octant<DIM> oct;
+    Level want;
+  };
+  std::vector<Item> cur(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    cur[i] = {in[i], std::max(levels[i], in[i].level)};
+  bool any = true;
+  while (any) {
+    any = false;
+    std::vector<Item> next;
+    next.reserve(cur.size());
+    for (const auto& it : cur) {
+      if (it.oct.level < it.want) {
+        any = true;
+        for (int c = 0; c < kNumChildren<DIM>; ++c)
+          next.push_back({it.oct.child(c), it.want});
+      } else {
+        next.push_back(it);
+      }
+    }
+    // A single-level framework re-sorts (or at least re-indexes) per pass;
+    // Morton child emission keeps our list sorted, but we pay the pass cost.
+    cur.swap(next);
+  }
+  OctList<DIM> out(cur.size());
+  for (std::size_t i = 0; i < cur.size(); ++i) out[i] = cur[i].oct;
+  return out;
+}
+
+/// Discards emitted octants that fall in void regions of an incomplete
+/// domain (Sec II-C1a: "Void descendants of boundary-intercepted octants
+/// need to be discarded").
+template <int DIM>
+void discardVoid(OctList<DIM>& octs,
+                 const std::function<bool(const Octant<DIM>&)>& keep) {
+  OctList<DIM> out;
+  out.reserve(octs.size());
+  for (const auto& o : octs)
+    if (keep(o)) out.push_back(o);
+  octs.swap(out);
+}
+
+}  // namespace pt

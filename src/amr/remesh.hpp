@@ -1,0 +1,59 @@
+// Remeshing driver: applies per-element target levels (from the local-Cahn
+// identifier or any refinement indicator) to a distributed tree in one
+// multi-level pass — refine (Algorithm 5, local), coarsen (Algorithm 7,
+// distributed), restore 2:1 balance, then repartition for load balance
+// ("We consider proper load balancing a separate step", Sec II-C1c).
+#pragma once
+
+#include <vector>
+
+#include "amr/par_coarsen.hpp"
+#include "amr/refine.hpp"
+#include "octree/balance.hpp"
+#include "octree/distributed.hpp"
+#include "sim/comm.hpp"
+#include "support/check.hpp"
+
+namespace pt {
+
+/// Returns the remeshed tree. `want[r][e]` is the desired level of rank r's
+/// e-th leaf: above the current level refines (possibly many levels at
+/// once), below coarsens (subject to Algorithm 6/7 consensus).
+template <int DIM>
+DistTree<DIM> remesh(const DistTree<DIM>& tree,
+                     const sim::PerRank<std::vector<Level>>& want) {
+  sim::SimComm& comm = tree.comm();
+  const int p = comm.size();
+  PT_CHECK(static_cast<int>(want.size()) == p);
+
+  // Multi-level refinement, local per rank; propagate each output leaf's
+  // coarsening vote from its source leaf.
+  sim::PerRank<OctList<DIM>> refined(p);
+  sim::PerRank<std::vector<Level>> accept(p);
+  for (int r = 0; r < p; ++r) {
+    const OctList<DIM>& leaves = tree.localOf(r);
+    PT_CHECK(want[r].size() == leaves.size());
+    std::vector<Level> up(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+      up[i] = std::max(want[r][i], leaves[i].level);
+    refined[r] = refine(leaves, up);
+    accept[r].resize(refined[r].size());
+    for (std::size_t i = 0; i < refined[r].size(); ++i) {
+      const std::int64_t src = locatePoint(leaves, refined[r][i].x);
+      PT_CHECK(src >= 0);
+      accept[r][i] = std::min(want[r][src], refined[r][i].level);
+    }
+    comm.chargeWork(r, 20.0 * leaves.size());
+  }
+
+  // Distributed multi-level coarsening (Algorithm 7).
+  auto coarsened = parCoarsen(comm, refined, accept);
+
+  DistTree<DIM> out(comm);
+  out.locals() = std::move(coarsened);
+  balanceDistTree(out);
+  out.repartition();
+  return out;
+}
+
+}  // namespace pt

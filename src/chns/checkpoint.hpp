@@ -1,0 +1,47 @@
+// Solver-state checkpointing: serializes the octree, all CHNS fields and
+// the elemental Cahn vector; restores onto the same or a larger simulated
+// communicator (paper Sec II-E: checkpoints are written frequently and may
+// be reloaded with an increased process count, with the extra ranks
+// activating at the first repartition/remesh).
+#pragma once
+
+#include <string>
+
+#include "chns/solver.hpp"
+#include "io/checkpoint.hpp"
+
+namespace pt::chns {
+
+template <int DIM>
+void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver) {
+  auto ck = io::makeCheckpoint<DIM>(
+      solver.tree(), solver.mesh(),
+      {{"phi", {&solver.phi(), 1}},
+       {"mu", {&solver.mu(), 1}},
+       {"vel", {&solver.velocity(), DIM}},
+       {"p", {&solver.pressure(), 1}}},
+      {{"cn", &solver.elemCn()}});
+  io::saveCheckpoint<DIM>(path, ck);
+}
+
+/// Restores a solver from `path` on `comm` (comm.size() >= writer ranks).
+/// The restored tree is repartitioned across the full communicator, which
+/// activates the previously inactive ranks.
+template <int DIM>
+ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm, const std::string& path,
+                                   ChnsOptions<DIM> opt) {
+  auto ck = io::loadCheckpointFile<DIM>(path);
+  auto restored = io::restoreCheckpoint<DIM>(comm, ck, /*redistribute=*/true);
+  ChnsSolver<DIM> solver(comm, std::move(restored.tree), std::move(opt));
+  for (auto& [name, field] : restored.nodal) {
+    if (name == "phi") solver.phi() = std::move(field);
+    else if (name == "mu") solver.mu() = std::move(field);
+    else if (name == "vel") solver.velocity() = std::move(field);
+    else if (name == "p") solver.pressure() = std::move(field);
+  }
+  for (auto& [name, vals] : restored.cell)
+    if (name == "cn") solver.elemCn() = std::move(vals);
+  return solver;
+}
+
+}  // namespace pt::chns

@@ -1,0 +1,816 @@
+// The CHNS flow solver: the paper's two-block projection scheme
+// (Khanwale et al. [16]) with four solves per block:
+//
+//   CH-solve: fully implicit nonlinear Cahn-Hilliard ((phi, mu) block
+//             system, Newton-Krylov), with the *elemental* Cahn number —
+//             this is where local Cahn plugs in.
+//   NS-solve: semi-implicit Crank-Nicolson linearized momentum (DIM-dof
+//             block system, GMRES + node-block Jacobi).
+//   PP-solve: variable-density pressure Poisson for the increment
+//             (CG + Jacobi, zero-mean pinned Neumann problem).
+//   VU-solve: per-direction mass-matrix velocity correction; the operator
+//             and preconditioner are built once per mesh and reused for
+//             every direction and timestep (the paper's N*k matrix-size
+//             remark), halving/thirding the assembled footprint.
+//
+// All operators are applied matrix-free through the same gather/elemental/
+// scatter MATVEC that the scaling benches time.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "chns/params.hpp"
+#include "fem/bc.hpp"
+#include "fem/matvec.hpp"
+#include "intergrid/transfer.hpp"
+#include "la/ksp.hpp"
+#include "la/newton.hpp"
+#include "la/pc.hpp"
+#include "localcahn/identifier.hpp"
+#include "amr/remesh.hpp"
+#include "support/timer.hpp"
+
+namespace pt::chns {
+
+template <int DIM>
+struct ChnsOptions {
+  Params params;
+  Real dt = 1e-3;
+  int blocksPerStep = 2;  ///< the "two-block" scheme
+
+  // Remeshing / local Cahn.
+  int remeshEvery = 0;  ///< timesteps between remesh+identify; 0 = never
+  localcahn::IdentifyParams identify;
+  Level coarseLevel = 3;
+  Level interfaceLevel = 6;
+  Level featureLevel = 7;   ///< used where local Cn is reduced
+  Level referenceLevel = 7; ///< b_l for the erosion/dilation counters
+  Real deltaStar = 0.95;    ///< |phi| < deltaStar marks the interface band
+
+  /// Multi-level Cn extension (paper Sec II-B3 closing remark): when
+  /// non-empty, remeshing runs one identification stage per entry (each
+  /// with its own erosion/dilation depths and Cn value); elements flagged
+  /// by stage k refine to cnStageLevels[k] (deepest matching stage wins)
+  /// and `identify`/`featureLevel` above are ignored.
+  std::vector<localcahn::CnStage<DIM>> cnStages;
+  std::vector<Level> cnStageLevels;
+
+  // Solver controls.
+  la::KspOptions nsKsp{.rtol = 1e-8, .maxIterations = 400};
+  la::KspOptions ppKsp{.rtol = 1e-8, .maxIterations = 800};
+  la::KspOptions vuKsp{.rtol = 1e-10, .maxIterations = 200};
+  la::NewtonOptions chNewton{
+      .rtol = 1e-8, .atol = 1e-10, .maxIterations = 12,
+      .linear = {.rtol = 1e-6, .maxIterations = 200}};
+
+  /// Velocity Dirichlet data on the domain boundary (default: no-slip).
+  std::function<void(const VecN<DIM>&, Real*)> velocityBc;
+};
+
+template <int DIM>
+class ChnsSolver {
+ public:
+  static constexpr int kC = kNumChildren<DIM>;
+
+  ChnsSolver(sim::SimComm& comm, DistTree<DIM> tree, ChnsOptions<DIM> opt)
+      : comm_(&comm), opt_(std::move(opt)), tree_(std::move(tree)) {
+    rebuildMesh();
+  }
+
+  const Mesh<DIM>& mesh() const { return *mesh_; }
+  const DistTree<DIM>& tree() const { return tree_; }
+  Field& phi() { return phi_; }
+  Field& mu() { return mu_; }
+  Field& velocity() { return vel_; }
+  Field& pressure() { return p_; }
+  localcahn::ElemField& elemCn() { return elemCn_; }
+  TimerSet& timers() { return timers_; }
+  const ChnsOptions<DIM>& options() const { return opt_; }
+  int stepsTaken() const { return steps_; }
+
+  /// Sets the initial phase field by position; mu is initialized to the
+  /// pointwise chemical potential (the gradient part enters via the first
+  /// CH solve), velocity/pressure to rest.
+  void setInitialCondition(
+      const std::function<Real(const VecN<DIM>&)>& phiFn,
+      const std::function<void(const VecN<DIM>&, Real*)>& velFn = nullptr) {
+    fem::setByPosition<DIM>(*mesh_, phi_, 1, [&](const VecN<DIM>& x, Real* v) {
+      v[0] = phiFn(x);
+    });
+    fem::setByPosition<DIM>(*mesh_, mu_, 1, [&](const VecN<DIM>& x, Real* v) {
+      v[0] = Params::dpsi(phiFn(x));
+    });
+    if (velFn)
+      fem::setByPosition<DIM>(*mesh_, vel_, DIM, velFn);
+    applyVelocityBc(vel_);
+  }
+
+  /// One full timestep (two blocks of the four solves by default), plus
+  /// remesh + identify + transfer at the configured cadence.
+  void step() {
+    for (int b = 0; b < opt_.blocksPerStep; ++b)
+      block(opt_.dt / opt_.blocksPerStep);
+    ++steps_;
+    if (opt_.remeshEvery > 0 && steps_ % opt_.remeshEvery == 0) remeshNow();
+  }
+
+  /// Runs the local-Cahn identifier, remeshes to the indicated levels, and
+  /// transfers all fields to the new mesh.
+  void remeshNow() {
+    ScopedTimer st(timers_["remesh"]);
+    sim::PerRank<std::vector<Level>> want;
+    if (opt_.cnStages.empty()) {
+      elemCn_ = localcahn::identifyLocalCahn(*mesh_, phi_,
+                                             opt_.referenceLevel,
+                                             opt_.identify);
+      want = localcahn::interfaceRefineLevels<DIM>(
+          *mesh_, phi_, elemCn_, opt_.identify.cnFine, opt_.deltaStar,
+          opt_.coarseLevel, opt_.interfaceLevel, opt_.featureLevel);
+    } else {
+      PT_CHECK(opt_.cnStages.size() == opt_.cnStageLevels.size());
+      auto stages = localcahn::identifyMultiLevelCahn<DIM>(
+          *mesh_, phi_, opt_.referenceLevel, opt_.cnStages);
+      elemCn_ = localcahn::cnFromStages<DIM>(*mesh_, stages,
+                                             opt_.params.Cn, opt_.cnStages);
+      // Refinement: stage-k features get cnStageLevels[k-1]; unflagged
+      // interface elements get interfaceLevel; the far field coarsens.
+      const int p = mesh_->nRanks();
+      want.resize(p);
+      std::vector<Real> u(kC);
+      for (int r = 0; r < p; ++r) {
+        const RankMesh<DIM>& rm = mesh_->rank(r);
+        want[r].assign(rm.nElems(), opt_.coarseLevel);
+        for (std::size_t e = 0; e < rm.nElems(); ++e) {
+          fem::gatherElem(rm, e, phi_[r], 1, u.data());
+          bool nearInterface = false;
+          for (int c = 0; c < kC; ++c)
+            nearInterface =
+                nearInterface || std::abs(u[c]) < opt_.deltaStar;
+          if (!nearInterface) continue;
+          const int s = stages[r][e];
+          want[r][e] =
+              (s > 0) ? opt_.cnStageLevels[s - 1] : opt_.interfaceLevel;
+        }
+      }
+    }
+    DistTree<DIM> newTree = remesh(tree_, want);
+    auto newMesh = std::make_unique<Mesh<DIM>>(
+        Mesh<DIM>::build(*comm_, newTree));
+    // Transfer node-centered state, then cell-centered Cn.
+    Field phiN = intergrid::transferNodal(*mesh_, phi_, *newMesh, 1);
+    Field muN = intergrid::transferNodal(*mesh_, mu_, *newMesh, 1);
+    Field velN = intergrid::transferNodal(*mesh_, vel_, *newMesh, DIM);
+    Field pN = intergrid::transferNodal(*mesh_, p_, *newMesh, 1);
+    localcahn::ElemField cnN = intergrid::transferCell(
+        tree_, elemCn_, newTree);
+    tree_ = std::move(newTree);
+    mesh_ = std::move(newMesh);
+    phi_ = std::move(phiN);
+    mu_ = std::move(muN);
+    vel_ = std::move(velN);
+    p_ = std::move(pN);
+    elemCn_ = std::move(cnN);
+    refreshMeshDependents();
+    applyVelocityBc(vel_);
+  }
+
+  // ---- Diagnostics ---------------------------------------------------------
+
+  /// Integral of phi over the domain (conserved by Cahn-Hilliard).
+  Real phiIntegral() const {
+    Field Mphi = mesh_->makeField(1);
+    fem::massMatvec(*mesh_, phi_, Mphi);
+    Field ones = mesh_->makeField(1);
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      std::fill(ones[r].begin(), ones[r].end(), 1.0);
+    return mesh_->dot(ones, Mphi, 1);
+  }
+
+  /// Ginzburg-Landau free energy: int Cn^2/2 |grad phi|^2 + psi(phi).
+  Real freeEnergy() const {
+    const auto& quad = fem::Quadrature<DIM, 2>::get();
+    const auto& bt = fem::BasisTable<DIM, 2>::get();
+    sim::PerRank<Real> part(mesh_->nRanks(), 0.0);
+    std::vector<Real> uLoc(kC);
+    for (int r = 0; r < mesh_->nRanks(); ++r) {
+      const RankMesh<DIM>& rm = mesh_->rank(r);
+      for (std::size_t e = 0; e < rm.nElems(); ++e) {
+        fem::gatherElem(rm, e, phi_[r], 1, uLoc.data());
+        const Real h = rm.elems[e].physSize();
+        const Real cn = elemCn_[r].empty() ? opt_.params.Cn : elemCn_[r][e];
+        Real jac = 1;
+        for (int d = 0; d < DIM; ++d) jac *= h;
+        for (int q = 0; q < fem::Quadrature<DIM, 2>::kPoints; ++q) {
+          Real phi = 0;
+          VecN<DIM> g;
+          for (int i = 0; i < kC; ++i) {
+            phi += bt.N[q][i] * uLoc[i];
+            g += (uLoc[i] / h) * bt.dN[q][i];
+          }
+          part[r] += quad.w[q] * jac *
+                     (0.5 * cn * cn * dot(g, g) + Params::psi(phi));
+        }
+      }
+    }
+    return comm_->allreduceSum(part);
+  }
+
+  Real maxVelocity() const { return mesh_->maxAbs(vel_); }
+
+  /// L2 norm of div(v) — solenoidality check after VU.
+  Real divergenceNorm() const {
+    const auto& quad = fem::Quadrature<DIM, 2>::get();
+    const auto& bt = fem::BasisTable<DIM, 2>::get();
+    sim::PerRank<Real> part(mesh_->nRanks(), 0.0);
+    std::vector<Real> vLoc(kC * DIM);
+    for (int r = 0; r < mesh_->nRanks(); ++r) {
+      const RankMesh<DIM>& rm = mesh_->rank(r);
+      for (std::size_t e = 0; e < rm.nElems(); ++e) {
+        fem::gatherElem(rm, e, vel_[r], DIM, vLoc.data());
+        const Real h = rm.elems[e].physSize();
+        Real jac = 1;
+        for (int d = 0; d < DIM; ++d) jac *= h;
+        for (int q = 0; q < fem::Quadrature<DIM, 2>::kPoints; ++q) {
+          Real div = 0;
+          for (int i = 0; i < kC; ++i)
+            for (int d = 0; d < DIM; ++d)
+              div += (bt.dN[q][i][d] / h) * vLoc[i * DIM + d];
+          part[r] += quad.w[q] * jac * div * div;
+        }
+      }
+    }
+    return std::sqrt(comm_->allreduceSum(part));
+  }
+
+ private:
+  // ---- Mesh-bound state ----------------------------------------------------
+
+  void rebuildMesh() {
+    mesh_ = std::make_unique<Mesh<DIM>>(Mesh<DIM>::build(*comm_, tree_));
+    phi_ = mesh_->makeField(1);
+    mu_ = mesh_->makeField(1);
+    vel_ = mesh_->makeField(DIM);
+    p_ = mesh_->makeField(1);
+    refreshMeshDependents();
+  }
+
+  void refreshMeshDependents() {
+    mask_ = fem::boundaryMask(*mesh_);
+    if (elemCn_.empty() ||
+        static_cast<int>(elemCn_.size()) != mesh_->nRanks()) {
+      elemCn_.assign(mesh_->nRanks(), {});
+    }
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      if (elemCn_[r].size() != mesh_->rank(r).nElems())
+        elemCn_[r].assign(mesh_->rank(r).nElems(), opt_.params.Cn);
+    // VU mass operator + Jacobi diagonal: built once per mesh and reused
+    // for every direction of every timestep (paper's VU-solve remark).
+    vuDiag_ = la::assembleDiagonalBlocks<DIM>(
+        *mesh_, 1, [](const Octant<DIM>& oct, Real* Ae) {
+          const auto& ref = fem::refMass<DIM>();
+          Real s = 1;
+          for (int d = 0; d < DIM; ++d) s *= oct.physSize();
+          for (std::size_t k = 0; k < ref.size(); ++k) Ae[k] = ref[k] * s;
+        });
+  }
+
+  Real cnOf(int r, std::size_t e) const {
+    return elemCn_[r].empty() ? opt_.params.Cn : elemCn_[r][e];
+  }
+
+  void applyVelocityBc(Field& v) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r) {
+      const RankMesh<DIM>& rm = mesh_->rank(r);
+      for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+        if (mask_[r][li] == 0.0) continue;
+        if (opt_.velocityBc) {
+          opt_.velocityBc(nodeCoords(rm.nodeKeys[li]), &v[r][li * DIM]);
+        } else {
+          for (int d = 0; d < DIM; ++d) v[r][li * DIM + d] = 0.0;
+        }
+      }
+    }
+  }
+
+  /// Subtracts the Euclidean (nodal) mean over owned DOFs. The constant
+  /// vector spans the kernel of the Neumann Poisson operator; CG requires
+  /// rhs and preconditioned residuals orthogonal to it in the *vector* dot
+  /// product, so this (not the mass-weighted mean) is the deflation used
+  /// inside the PP solve.
+  void projectNodalMean(Field& f) const {
+    Field ones = mesh_->makeField(1);
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      std::fill(ones[r].begin(), ones[r].end(), 1.0);
+    const Real mean = mesh_->dot(ones, f, 1) /
+                      static_cast<Real>(mesh_->globalNodeCount());
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (Real& v : f[r]) v -= mean;
+  }
+
+  /// Subtracts the (lumped-mass weighted) mean — nullspace pinning for the
+  /// pure-Neumann pressure Poisson problem.
+  void projectZeroMean(Field& f) const {
+    Field Mf = mesh_->makeField(1);
+    fem::massMatvec(*mesh_, f, Mf);
+    Field ones = mesh_->makeField(1);
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      std::fill(ones[r].begin(), ones[r].end(), 1.0);
+    Field Mones = mesh_->makeField(1);
+    fem::massMatvec(*mesh_, ones, Mones);
+    const Real mean =
+        mesh_->dot(ones, Mf, 1) / mesh_->dot(ones, Mones, 1);
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (Real& v : f[r]) v -= mean;
+  }
+
+  // ---- One block of the two-block scheme ------------------------------------
+
+  void block(Real dt) {
+    chSolve(dt);
+    nsSolve(dt);
+    ppSolve(dt);
+    vuSolve(dt);
+  }
+
+  // CH-solve: Newton on U = (phi, mu), ndof = 2.
+  void chSolve(Real dt) {
+    ScopedTimer st(timers_["ch-solve"]);
+    la::FieldSpace<DIM> S(*mesh_, 2);
+    const Params& P = opt_.params;
+    const Field phiOld = phi_;
+    const Field velOld = vel_;
+
+    // Pack U = (phi, mu).
+    Field U = mesh_->makeField(2);
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (std::size_t i = 0; i < mesh_->rank(r).nNodes(); ++i) {
+        U[r][i * 2] = phi_[r][i];
+        U[r][i * 2 + 1] = mu_[r][i];
+      }
+
+    const auto& quad = fem::Quadrature<DIM, 2>::get();
+    const auto& bt = fem::BasisTable<DIM, 2>::get();
+    constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
+
+    auto residual = [&, dt](const Field& u, Field& F) {
+      std::vector<Real> po(kC), vo(kC * DIM);
+      fem::matvecIndexed<DIM>(
+          *mesh_, u, F, 2,
+          [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
+                  const Real* in, Real* out) {
+            const RankMesh<DIM>& rm = mesh_->rank(r);
+            fem::gatherElem(rm, e, phiOld[r], 1, po.data());
+            fem::gatherElem(rm, e, velOld[r], DIM, vo.data());
+            const Real h = oct.physSize(), cn = cnOf(r, e);
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            for (int q = 0; q < nq; ++q) {
+              Real phi = 0, mu = 0, phio = 0;
+              VecN<DIM> gphi, gmu, v;
+              for (int i = 0; i < kC; ++i) {
+                const Real N = bt.N[q][i];
+                phi += N * in[i * 2];
+                mu += N * in[i * 2 + 1];
+                phio += N * po[i];
+                for (int d = 0; d < DIM; ++d) {
+                  const Real dN = bt.dN[q][i][d] / h;
+                  gphi[d] += dN * in[i * 2];
+                  gmu[d] += dN * in[i * 2 + 1];
+                  v[d] += N * vo[i * DIM + d];
+                }
+              }
+              const Real m = P.mobility(phi);
+              const Real w = quad.w[q] * jac;
+              for (int i = 0; i < kC; ++i) {
+                const Real N = bt.N[q][i];
+                VecN<DIM> dN;
+                for (int d = 0; d < DIM; ++d) dN[d] = bt.dN[q][i][d] / h;
+                // R_phi: time + advection (integrated by parts) + mobility.
+                out[i * 2] += w * ((phi - phio) / dt * N - phi * dot(v, dN) +
+                                   (m / (P.Pe * cn)) * dot(gmu, dN));
+                // R_mu: mu - psi'(phi) - Cn^2 lap(phi) (weak form).
+                out[i * 2 + 1] += w * ((mu - Params::dpsi(phi)) * N -
+                                       cn * cn * dot(gphi, dN));
+              }
+            }
+          });
+    };
+
+    auto makeJ = [&, dt](const Field& u) -> la::LinOp<Field> {
+      return [this, dt, u, &quad, &bt](const Field& x, Field& y) {
+        const Params& P = opt_.params;
+        std::vector<Real> uu(kC * 2), vo(kC * DIM);
+        fem::matvecIndexed<DIM>(
+            *mesh_, x, y, 2,
+            [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
+                    const Real* in, Real* out) {
+              const RankMesh<DIM>& rm = mesh_->rank(r);
+              fem::gatherElem(rm, e, u[r], 2, uu.data());
+              fem::gatherElem(rm, e, velOldRef_->at(r), DIM, vo.data());
+              const Real h = oct.physSize(), cn = cnOf(r, e);
+              Real jac = 1;
+              for (int d = 0; d < DIM; ++d) jac *= h;
+              for (int q = 0; q < nq; ++q) {
+                Real phi = 0, dphi = 0, dmu = 0;
+                VecN<DIM> gdphi, gdmu, gmu, v;
+                for (int i = 0; i < kC; ++i) {
+                  const Real N = bt.N[q][i];
+                  phi += N * uu[i * 2];
+                  dphi += N * in[i * 2];
+                  dmu += N * in[i * 2 + 1];
+                  for (int d = 0; d < DIM; ++d) {
+                    const Real dN = bt.dN[q][i][d] / h;
+                    gdphi[d] += dN * in[i * 2];
+                    gdmu[d] += dN * in[i * 2 + 1];
+                    gmu[d] += dN * uu[i * 2 + 1];
+                    v[d] += N * vo[i * DIM + d];
+                  }
+                }
+                const Real m = P.mobility(phi);
+                const Real c2 = 1 - std::min(Real(1), phi * phi);
+                const Real mprime =
+                    c2 > 1e-6 ? -phi / std::sqrt(c2) : 0.0;
+                const Real w = quad.w[q] * jac;
+                for (int i = 0; i < kC; ++i) {
+                  const Real N = bt.N[q][i];
+                  VecN<DIM> dN;
+                  for (int d = 0; d < DIM; ++d) dN[d] = bt.dN[q][i][d] / h;
+                  out[i * 2] +=
+                      w * (dphi / dt * N - dphi * dot(v, dN) +
+                           (m / (P.Pe * cn)) * dot(gdmu, dN) +
+                           (mprime * dphi / (P.Pe * cn)) * dot(gmu, dN));
+                  out[i * 2 + 1] +=
+                      w * ((dmu - Params::d2psi(phi) * dphi) * N -
+                           cn * cn * dot(gdphi, dN));
+                }
+              }
+            });
+      };
+    };
+
+    auto makePc = [&, dt](const Field& /*state*/) -> la::LinOp<Field> {
+      Field diag = la::assembleDiagonalBlocks<DIM>(
+          *mesh_, 2,
+          [&, dt](const Octant<DIM>& oct, Real* Ae) {
+            // Diagonal-only elemental Jacobian approximation: time/mass and
+            // stiffness blocks (advection omitted).
+            const auto& refM = fem::refMass<DIM>();
+            const auto& refK = fem::refStiffness<DIM>();
+            const Real h = oct.physSize();
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            const Real kscale = (DIM == 2) ? 1.0 : h;
+            const Real cn = opt_.params.Cn;
+            const int n = kC * 2;
+            for (int i = 0; i < kC; ++i)
+              for (int j = 0; j < kC; ++j) {
+                const Real M = refM[i * kC + j] * jac;
+                const Real K = refK[i * kC + j] * kscale;
+                Ae[(i * 2) * n + (j * 2)] = M / dt;
+                Ae[(i * 2) * n + (j * 2 + 1)] =
+                    K / (opt_.params.Pe * cn);
+                Ae[(i * 2 + 1) * n + (j * 2)] = -cn * cn * K + M;
+                Ae[(i * 2 + 1) * n + (j * 2 + 1)] = M;
+              }
+          });
+      return la::makeBlockJacobi(*mesh_, 2, std::move(diag));
+    };
+
+    velOldRef_ = &velOld;
+    auto res = la::newton<la::FieldSpace<DIM>>(S, U, residual, makeJ, makePc,
+                                               opt_.chNewton);
+    velOldRef_ = nullptr;
+    lastChNewton_ = res;
+    // Unpack.
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (std::size_t i = 0; i < mesh_->rank(r).nNodes(); ++i) {
+        phi_[r][i] = U[r][i * 2];
+        mu_[r][i] = U[r][i * 2 + 1];
+      }
+  }
+
+  // NS-solve: linearized semi-implicit momentum for v*.
+  void nsSolve(Real dt) {
+    ScopedTimer st(timers_["ns-solve"]);
+    la::FieldSpace<DIM> S(*mesh_, DIM);
+    const Params& P = opt_.params;
+    const auto& quad = fem::Quadrature<DIM, 2>::get();
+    const auto& bt = fem::BasisTable<DIM, 2>::get();
+    constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
+    const Field velOld = vel_;
+
+    auto stateAtQ = [&](int r, std::size_t e, const Octant<DIM>& oct, int q,
+                        const Real* ph, const Real* muv, Real& rho, Real& eta,
+                        VecN<DIM>& Jflux, VecN<DIM>& gphi) {
+      const Real h = oct.physSize();
+      Real phi = 0;
+      VecN<DIM> gmu;
+      for (int i = 0; i < kC; ++i) {
+        phi += bt.N[q][i] * ph[i];
+        for (int d = 0; d < DIM; ++d) {
+          gphi[d] += (bt.dN[q][i][d] / h) * ph[i];
+          gmu[d] += (bt.dN[q][i][d] / h) * muv[i];
+        }
+      }
+      rho = P.rho(phi);
+      eta = P.eta(phi);
+      const Real jc = P.fluxCoeff(phi, cnOf(r, e));
+      Jflux = jc * gmu;
+    };
+
+    la::LinOp<Field> Araw = [&, dt](const Field& x, Field& y) {
+      std::vector<Real> ph(kC), muv(kC), vo(kC * DIM);
+      fem::matvecIndexed<DIM>(
+          *mesh_, x, y, DIM,
+          [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
+                  const Real* in, Real* out) {
+            const RankMesh<DIM>& rm = mesh_->rank(r);
+            fem::gatherElem(rm, e, phi_[r], 1, ph.data());
+            fem::gatherElem(rm, e, mu_[r], 1, muv.data());
+            fem::gatherElem(rm, e, velOld[r], DIM, vo.data());
+            const Real h = oct.physSize();
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            for (int q = 0; q < nq; ++q) {
+              Real rho, eta;
+              VecN<DIM> Jf, gphi;
+              stateAtQ(r, e, oct, q, ph.data(), muv.data(), rho, eta, Jf,
+                       gphi);
+              VecN<DIM> w, xq;
+              std::array<VecN<DIM>, DIM> gx;  // gradient of each component
+              for (int i = 0; i < kC; ++i) {
+                const Real N = bt.N[q][i];
+                for (int a = 0; a < DIM; ++a) {
+                  w[a] += N * vo[i * DIM + a];
+                  xq[a] += N * in[i * DIM + a];
+                  for (int d = 0; d < DIM; ++d)
+                    gx[a][d] += (bt.dN[q][i][d] / h) * in[i * DIM + a];
+                }
+              }
+              const Real wq = quad.w[q] * jac;
+              for (int i = 0; i < kC; ++i) {
+                const Real N = bt.N[q][i];
+                VecN<DIM> dN;
+                for (int d = 0; d < DIM; ++d) dN[d] = bt.dN[q][i][d] / h;
+                for (int a = 0; a < DIM; ++a) {
+                  Real conv = dot(w, gx[a]) * rho + dot(Jf, gx[a]) / P.Pe;
+                  out[i * DIM + a] +=
+                      wq * (rho * xq[a] * N / dt + 0.5 * conv * N +
+                            (0.5 / P.Re) * eta * dot(gx[a], dN));
+                }
+              }
+            }
+          });
+    };
+
+    // Weak RHS.
+    Field rhs = mesh_->makeField(DIM);
+    {
+      std::vector<Real> ph(kC), muv(kC), vo(kC * DIM), pr(kC);
+      fem::assembleRhs<DIM>(
+          *mesh_, rhs, DIM,
+          [&, dt](int r, std::size_t e, const Octant<DIM>& oct, Real* out) {
+            const RankMesh<DIM>& rm = mesh_->rank(r);
+            fem::gatherElem(rm, e, phi_[r], 1, ph.data());
+            fem::gatherElem(rm, e, mu_[r], 1, muv.data());
+            fem::gatherElem(rm, e, velOld[r], DIM, vo.data());
+            fem::gatherElem(rm, e, p_[r], 1, pr.data());
+            const Real h = oct.physSize(), cn = cnOf(r, e);
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            for (int q = 0; q < nq; ++q) {
+              Real rho, eta;
+              VecN<DIM> Jf, gphi;
+              stateAtQ(r, e, oct, q, ph.data(), muv.data(), rho, eta, Jf,
+                       gphi);
+              Real pq = 0;
+              VecN<DIM> w;
+              std::array<VecN<DIM>, DIM> gw;
+              for (int i = 0; i < kC; ++i) {
+                const Real N = bt.N[q][i];
+                pq += N * pr[i];
+                for (int a = 0; a < DIM; ++a) {
+                  w[a] += N * vo[i * DIM + a];
+                  for (int d = 0; d < DIM; ++d)
+                    gw[a][d] += (bt.dN[q][i][d] / h) * vo[i * DIM + a];
+                }
+              }
+              const Real wq = quad.w[q] * jac;
+              for (int i = 0; i < kC; ++i) {
+                const Real N = bt.N[q][i];
+                VecN<DIM> dN;
+                for (int d = 0; d < DIM; ++d) dN[d] = bt.dN[q][i][d] / h;
+                for (int a = 0; a < DIM; ++a) {
+                  Real conv = dot(w, gw[a]) * rho + dot(Jf, gw[a]) / P.Pe;
+                  Real st = 0;  // surface tension: +(Cn/We) (gphi x gphi):grad u
+                  for (int b = 0; b < DIM; ++b)
+                    st += gphi[a] * gphi[b] * dN[b];
+                  Real grav =
+                      (opt_.params.gravityDir == a) ? -rho / P.Fr : 0.0;
+                  out[i * DIM + a] +=
+                      wq * (rho * w[a] * N / dt - 0.5 * conv * N -
+                            (0.5 / P.Re) * eta * dot(gw[a], dN) +
+                            (1.0 / P.We) * pq * dN[a] +
+                            (cn / P.We) * st + grav * N);
+                }
+              }
+            }
+          });
+    }
+
+    // Dirichlet velocity boundary.
+    Field g = mesh_->makeField(DIM);
+    applyVelocityBc(g);
+    la::LinOp<Field> A = fem::dirichletOp(*mesh_, mask_, Araw, DIM);
+    Field rhsBc = fem::liftDirichletRhs(*mesh_, mask_, Araw, rhs, g, DIM);
+
+    // Node-block Jacobi on the time + viscous part.
+    Field diag = la::assembleDiagonalBlocks<DIM>(
+        *mesh_, DIM, [&, dt](const Octant<DIM>& oct, Real* Ae) {
+          const auto& refM = fem::refMass<DIM>();
+          const auto& refK = fem::refStiffness<DIM>();
+          const Real h = oct.physSize();
+          Real jac = 1;
+          for (int d = 0; d < DIM; ++d) jac *= h;
+          const Real kscale = (DIM == 2) ? 1.0 : h;
+          const int n = kC * DIM;
+          for (int i = 0; i < kC; ++i)
+            for (int j = 0; j < kC; ++j) {
+              const Real val = refM[i * kC + j] * jac / dt +
+                               (0.5 / P.Re) * refK[i * kC + j] * kscale;
+              for (int a = 0; a < DIM; ++a)
+                Ae[(i * DIM + a) * n + (j * DIM + a)] = val;
+            }
+        });
+    la::LinOp<Field> M = la::makeBlockJacobi(*mesh_, DIM, std::move(diag));
+
+    Field vstar = vel_;  // initial guess
+    fem::copyMasked(*mesh_, mask_, g, vstar, DIM);
+    lastNs_ = la::gmres(S, A, rhsBc, vstar, opt_.nsKsp, &M);
+    velStar_ = std::move(vstar);
+  }
+
+  // PP-solve: variable-density pressure Poisson for the increment dp.
+  void ppSolve(Real dt) {
+    ScopedTimer st(timers_["pp-solve"]);
+    la::FieldSpace<DIM> S(*mesh_, 1);
+    const Params& P = opt_.params;
+    const auto& quad = fem::Quadrature<DIM, 2>::get();
+    const auto& bt = fem::BasisTable<DIM, 2>::get();
+    constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
+
+    la::LinOp<Field> A = [&, dt](const Field& x, Field& y) {
+      std::vector<Real> ph(kC);
+      fem::matvecIndexed<DIM>(
+          *mesh_, x, y, 1,
+          [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
+                  const Real* in, Real* out) {
+            const RankMesh<DIM>& rm = mesh_->rank(r);
+            fem::gatherElem(rm, e, phi_[r], 1, ph.data());
+            const Real h = oct.physSize();
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            for (int q = 0; q < nq; ++q) {
+              Real phi = 0;
+              VecN<DIM> gx;
+              for (int i = 0; i < kC; ++i) {
+                phi += bt.N[q][i] * ph[i];
+                for (int d = 0; d < DIM; ++d)
+                  gx[d] += (bt.dN[q][i][d] / h) * in[i];
+              }
+              const Real coef = dt / (P.We * P.rho(phi));
+              const Real wq = quad.w[q] * jac;
+              for (int i = 0; i < kC; ++i) {
+                VecN<DIM> dN;
+                for (int d = 0; d < DIM; ++d) dN[d] = bt.dN[q][i][d] / h;
+                out[i] += wq * coef * dot(gx, dN);
+              }
+            }
+          });
+    };
+
+    Field rhs = mesh_->makeField(1);
+    {
+      std::vector<Real> vs(kC * DIM);
+      fem::assembleRhs<DIM>(
+          *mesh_, rhs, 1,
+          [&](int r, std::size_t e, const Octant<DIM>& oct, Real* out) {
+            const RankMesh<DIM>& rm = mesh_->rank(r);
+            fem::gatherElem(rm, e, velStar_[r], DIM, vs.data());
+            const Real h = oct.physSize();
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            for (int q = 0; q < nq; ++q) {
+              Real div = 0;
+              for (int i = 0; i < kC; ++i)
+                for (int d = 0; d < DIM; ++d)
+                  div += (bt.dN[q][i][d] / h) * vs[i * DIM + d];
+              const Real wq = quad.w[q] * jac;
+              for (int i = 0; i < kC; ++i)
+                out[i] += wq * (-div) * bt.N[q][i];
+            }
+          });
+    }
+    projectNodalMean(rhs);  // deflate the constant nullspace (Euclidean)
+    Field dp = mesh_->makeField(1);
+    // Jacobi preconditioner from the weighted stiffness diagonal, wrapped
+    // with kernel deflation so the Krylov space stays orthogonal to the
+    // constants (otherwise singular-system CG eventually diverges).
+    Field diag = la::assembleDiagonalBlocks<DIM>(
+        *mesh_, 1, [&, dt](const Octant<DIM>& oct, Real* Ae) {
+          const auto& refK = fem::refStiffness<DIM>();
+          const Real kscale = (DIM == 2) ? 1.0 : oct.physSize();
+          for (std::size_t k = 0; k < refK.size(); ++k)
+            Ae[k] = refK[k] * kscale * dt / P.We;
+        });
+    la::LinOp<Field> M0 = la::makeJacobi(*mesh_, 1, std::move(diag));
+    la::LinOp<Field> M = [this, M0 = std::move(M0)](const Field& r,
+                                                    Field& z) {
+      M0(r, z);
+      projectNodalMean(z);
+    };
+    lastPp_ = la::cg(S, A, rhs, dp, opt_.ppKsp, &M);
+    projectZeroMean(dp);  // physical normalization: zero mass-weighted mean
+    dp_ = std::move(dp);
+    // p^{n+1} = p^n + dp
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (std::size_t i = 0; i < p_[r].size(); ++i) p_[r][i] += dp_[r][i];
+  }
+
+  // VU-solve: per-direction velocity correction with the reused mass
+  // operator/preconditioner.
+  void vuSolve(Real dt) {
+    ScopedTimer st(timers_["vu-solve"]);
+    la::FieldSpace<DIM> S(*mesh_, 1);
+    const Params& P = opt_.params;
+    const auto& quad = fem::Quadrature<DIM, 2>::get();
+    const auto& bt = fem::BasisTable<DIM, 2>::get();
+    constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
+
+    la::LinOp<Field> Mop = [&](const Field& x, Field& y) {
+      fem::massMatvec(*mesh_, x, y);
+    };
+    la::LinOp<Field> pc = la::makeJacobi(*mesh_, 1, vuDiag_);
+
+    lastVuIterations_ = 0;
+    for (int a = 0; a < DIM; ++a) {
+      // rhs_a = M v*_a - int (dt/(We rho)) d_a(dp) u.
+      Field rhs = mesh_->makeField(1);
+      std::vector<Real> vs(kC * DIM), dpl(kC), ph(kC);
+      fem::assembleRhs<DIM>(
+          *mesh_, rhs, 1,
+          [&, a, dt](int r, std::size_t e, const Octant<DIM>& oct,
+                     Real* out) {
+            const RankMesh<DIM>& rm = mesh_->rank(r);
+            fem::gatherElem(rm, e, velStar_[r], DIM, vs.data());
+            fem::gatherElem(rm, e, dp_[r], 1, dpl.data());
+            fem::gatherElem(rm, e, phi_[r], 1, ph.data());
+            const Real h = oct.physSize();
+            Real jac = 1;
+            for (int d = 0; d < DIM; ++d) jac *= h;
+            for (int q = 0; q < nq; ++q) {
+              Real va = 0, phi = 0, gdp = 0;
+              for (int i = 0; i < kC; ++i) {
+                va += bt.N[q][i] * vs[i * DIM + a];
+                phi += bt.N[q][i] * ph[i];
+                gdp += (bt.dN[q][i][a] / h) * dpl[i];
+              }
+              const Real wq = quad.w[q] * jac;
+              const Real corr = dt / (P.We * P.rho(phi)) * gdp;
+              for (int i = 0; i < kC; ++i)
+                out[i] += wq * (va - corr) * bt.N[q][i];
+            }
+          });
+      Field va = mesh_->makeField(1);
+      for (int r = 0; r < mesh_->nRanks(); ++r)
+        for (std::size_t i = 0; i < mesh_->rank(r).nNodes(); ++i)
+          va[r][i] = velStar_[r][i * DIM + a];
+      auto res = la::cg(S, Mop, rhs, va, opt_.vuKsp, &pc);
+      lastVuIterations_ += res.iterations;
+      for (int r = 0; r < mesh_->nRanks(); ++r)
+        for (std::size_t i = 0; i < mesh_->rank(r).nNodes(); ++i)
+          vel_[r][i * DIM + a] = va[r][i];
+    }
+    applyVelocityBc(vel_);
+  }
+
+ public:
+  // Last-solve statistics, exposed for tests and the scaling benches.
+  la::NewtonResult lastChNewton_{};
+  la::KspResult lastNs_{}, lastPp_{};
+  int lastVuIterations_ = 0;
+
+ private:
+  sim::SimComm* comm_;
+  ChnsOptions<DIM> opt_;
+  DistTree<DIM> tree_;
+  std::unique_ptr<Mesh<DIM>> mesh_;
+  Field phi_, mu_, vel_, p_, velStar_, dp_, mask_, vuDiag_;
+  localcahn::ElemField elemCn_;
+  TimerSet timers_;
+  int steps_ = 0;
+  const Field* velOldRef_ = nullptr;  // scratch for the CH Jacobian closure
+};
+
+}  // namespace pt::chns

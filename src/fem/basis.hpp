@@ -1,0 +1,113 @@
+// Linear (bi/tri-linear) Lagrange basis on the reference cube [0,1]^DIM and
+// tensor-product Gauss quadrature. The paper restricts deployment to linear
+// basis functions (spatially second-order convergence); so do we.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "support/types.hpp"
+#include "support/vecn.hpp"
+
+namespace pt::fem {
+
+/// Number of nodes (= corners) of a linear element.
+template <int DIM>
+inline constexpr int kNodes = 1 << DIM;
+
+/// Value of shape function i at reference point xi. Node numbering matches
+/// the Morton corner index: bit d of i selects the xi_d = 1 face.
+template <int DIM>
+Real shape(int i, const VecN<DIM>& xi) {
+  Real v = 1.0;
+  for (int d = 0; d < DIM; ++d) v *= ((i >> d) & 1) ? xi[d] : (1.0 - xi[d]);
+  return v;
+}
+
+/// Reference-space gradient of shape function i at xi.
+template <int DIM>
+VecN<DIM> shapeGrad(int i, const VecN<DIM>& xi) {
+  VecN<DIM> g;
+  for (int d = 0; d < DIM; ++d) {
+    Real v = ((i >> d) & 1) ? 1.0 : -1.0;
+    for (int e = 0; e < DIM; ++e) {
+      if (e == d) continue;
+      v *= ((i >> e) & 1) ? xi[e] : (1.0 - xi[e]);
+    }
+    g[d] = v;
+  }
+  return g;
+}
+
+/// Tensor-product Gauss quadrature with `Q` points per direction on [0,1].
+template <int DIM, int Q = 2>
+struct Quadrature {
+  static constexpr int kPoints = []() {
+    int n = 1;
+    for (int d = 0; d < DIM; ++d) n *= Q;
+    return n;
+  }();
+
+  std::array<VecN<DIM>, kPoints> xi;
+  std::array<Real, kPoints> w;
+
+  Quadrature() {
+    std::array<Real, Q> gx{}, gw{};
+    if constexpr (Q == 1) {
+      gx = {0.5};
+      gw = {1.0};
+    } else if constexpr (Q == 2) {
+      const Real a = 0.5 / std::sqrt(3.0);
+      gx = {0.5 - a, 0.5 + a};
+      gw = {0.5, 0.5};
+    } else {
+      static_assert(Q == 3, "supported quadrature orders: 1, 2, 3");
+      const Real a = 0.5 * std::sqrt(3.0 / 5.0);
+      gx = {0.5 - a, 0.5, 0.5 + a};
+      gw = {5.0 / 18.0, 8.0 / 18.0, 5.0 / 18.0};
+    }
+    for (int q = 0; q < kPoints; ++q) {
+      int idx = q;
+      Real weight = 1.0;
+      for (int d = 0; d < DIM; ++d) {
+        xi[q][d] = gx[idx % Q];
+        weight *= gw[idx % Q];
+        idx /= Q;
+      }
+      w[q] = weight;
+    }
+  }
+
+  /// Process-wide instance (the tables are tiny and immutable).
+  static const Quadrature& get() {
+    static const Quadrature inst;
+    return inst;
+  }
+};
+
+/// Precomputed shape values / gradients at the quadrature points of
+/// Quadrature<DIM, Q>.
+template <int DIM, int Q = 2>
+struct BasisTable {
+  static constexpr int kQ = Quadrature<DIM, Q>::kPoints;
+  static constexpr int kN = kNodes<DIM>;
+
+  std::array<std::array<Real, kN>, kQ> N;
+  std::array<std::array<VecN<DIM>, kN>, kQ> dN;  ///< reference gradients
+
+  BasisTable() {
+    const auto& quad = Quadrature<DIM, Q>::get();
+    for (int q = 0; q < kQ; ++q)
+      for (int i = 0; i < kN; ++i) {
+        N[q][i] = shape<DIM>(i, quad.xi[q]);
+        dN[q][i] = shapeGrad<DIM>(i, quad.xi[q]);
+      }
+  }
+
+  static const BasisTable& get() {
+    static const BasisTable inst;
+    return inst;
+  }
+};
+
+}  // namespace pt::fem

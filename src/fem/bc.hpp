@@ -1,0 +1,122 @@
+// Dirichlet boundary condition handling for the matrix-free solver path:
+// boundary rows are replaced by identity and the boundary data is lifted
+// into the right-hand side, preserving symmetry of the interior block.
+#pragma once
+
+#include <functional>
+
+#include "fem/matvec.hpp"
+#include "la/space.hpp"
+#include "mesh/mesh.hpp"
+
+namespace pt::fem {
+
+/// Mask field: 1 at nodes on the domain boundary (any coordinate 0 or 1),
+/// 0 elsewhere. One value per node regardless of ndof.
+template <int DIM>
+Field boundaryMask(const Mesh<DIM>& mesh) {
+  Field m = mesh.makeField(1);
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+      bool onBnd = false;
+      for (int d = 0; d < DIM; ++d)
+        onBnd = onBnd || rm.nodeKeys[li][d] == 0 ||
+                rm.nodeKeys[li][d] == kMaxCoord;
+      m[r][li] = onBnd ? 1.0 : 0.0;
+    }
+  }
+  return m;
+}
+
+/// Zeroes the masked entries of an ndof-component field (all components of a
+/// masked node).
+template <int DIM>
+void zeroMasked(const Mesh<DIM>& mesh, const Field& mask, Field& f,
+                int ndof = 1) {
+  for (int r = 0; r < mesh.nRanks(); ++r)
+    for (std::size_t li = 0; li < mesh.rank(r).nNodes(); ++li)
+      if (mask[r][li] != 0.0)
+        for (int d = 0; d < ndof; ++d) f[r][li * ndof + d] = 0.0;
+}
+
+/// Copies masked entries from src into dst.
+template <int DIM>
+void copyMasked(const Mesh<DIM>& mesh, const Field& mask, const Field& src,
+                Field& dst, int ndof = 1) {
+  for (int r = 0; r < mesh.nRanks(); ++r)
+    for (std::size_t li = 0; li < mesh.rank(r).nNodes(); ++li)
+      if (mask[r][li] != 0.0)
+        for (int d = 0; d < ndof; ++d)
+          dst[r][li * ndof + d] = src[r][li * ndof + d];
+}
+
+/// Wraps an interior operator A with Dirichlet rows: y = A(x with boundary
+/// zeroed); y|bnd = x|bnd. Use with liftDirichletRhs.
+template <int DIM>
+la::LinOp<Field> dirichletOp(const Mesh<DIM>& mesh, const Field& mask,
+                             la::LinOp<Field> A, int ndof = 1) {
+  return [&mesh, &mask, A = std::move(A), ndof](const Field& x, Field& y) {
+    Field xi = x;
+    zeroMasked(mesh, mask, xi, ndof);
+    A(xi, y);
+    zeroMasked(mesh, mask, y, ndof);
+    copyMasked(mesh, mask, x, y, ndof);
+  };
+}
+
+/// Builds the Dirichlet-lifted right-hand side: r = f - A g0 in the
+/// interior (g0 = boundary data extended by zero), r|bnd = g|bnd.
+template <int DIM>
+Field liftDirichletRhs(const Mesh<DIM>& mesh, const Field& mask,
+                       const la::LinOp<Field>& A, const Field& f,
+                       const Field& g, int ndof = 1) {
+  Field g0 = g;
+  // keep only boundary entries of g
+  for (int r = 0; r < mesh.nRanks(); ++r)
+    for (std::size_t li = 0; li < mesh.rank(r).nNodes(); ++li)
+      if (mask[r][li] == 0.0)
+        for (int d = 0; d < ndof; ++d) g0[r][li * ndof + d] = 0.0;
+  Field Ag = mesh.makeField(ndof);
+  A(g0, Ag);
+  Field rhs = f;
+  for (int r = 0; r < mesh.nRanks(); ++r)
+    for (std::size_t i = 0; i < rhs[r].size(); ++i) rhs[r][i] -= Ag[r][i];
+  zeroMasked(mesh, mask, rhs, ndof);
+  copyMasked(mesh, mask, g, rhs, ndof);
+  return rhs;
+}
+
+/// L2 error of a scalar nodal field against an exact solution, integrated
+/// with elemental quadrature (hanging-consistent via gatherElem).
+template <int DIM>
+Real l2Error(const Mesh<DIM>& mesh, const Field& u,
+             const std::function<Real(const VecN<DIM>&)>& exact) {
+  constexpr int kC = kNumChildren<DIM>;
+  const auto& quad = Quadrature<DIM, 2>::get();
+  const auto& bt = BasisTable<DIM, 2>::get();
+  sim::PerRank<Real> part(mesh.nRanks(), 0.0);
+  Real uLoc[kC];
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      gatherElem(rm, e, u[r], 1, uLoc);
+      const Octant<DIM>& oct = rm.elems[e];
+      const Real h = oct.physSize();
+      Real jac = 1.0;
+      for (int d = 0; d < DIM; ++d) jac *= h;
+      const VecN<DIM> origin = oct.anchorCoords();
+      for (int q = 0; q < Quadrature<DIM, 2>::kPoints; ++q) {
+        Real uh = 0;
+        for (int i = 0; i < kC; ++i) uh += bt.N[q][i] * uLoc[i];
+        VecN<DIM> pos;
+        for (int d = 0; d < DIM; ++d) pos[d] = origin[d] + h * quad.xi[q][d];
+        const Real diff = uh - exact(pos);
+        part[r] += quad.w[q] * jac * diff * diff;
+      }
+    }
+  }
+  return std::sqrt(mesh.comm().allreduceSum(part));
+}
+
+}  // namespace pt::fem

@@ -1,0 +1,150 @@
+// Elemental (per-octant) FEM operators for linear elements on axis-aligned
+// cubes of physical size h: closed-form mass and stiffness matrices plus a
+// general quadrature-driven assembler for variable-coefficient forms.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "fem/basis.hpp"
+#include "support/types.hpp"
+#include "support/vecn.hpp"
+
+namespace pt::fem {
+
+template <int DIM>
+using ElemMat = std::array<Real, std::size_t(kNodes<DIM>) * kNodes<DIM>>;
+template <int DIM>
+using ElemVec = std::array<Real, std::size_t(kNodes<DIM>)>;
+
+/// Reference mass matrix on [0,1]^DIM (unit h): M_ij = ∫ N_i N_j.
+template <int DIM>
+const ElemMat<DIM>& refMass() {
+  static const ElemMat<DIM> m = [] {
+    ElemMat<DIM> out{};
+    const auto& quad = Quadrature<DIM, 2>::get();
+    const auto& bt = BasisTable<DIM, 2>::get();
+    for (int q = 0; q < Quadrature<DIM, 2>::kPoints; ++q)
+      for (int i = 0; i < kNodes<DIM>; ++i)
+        for (int j = 0; j < kNodes<DIM>; ++j)
+          out[i * kNodes<DIM> + j] += quad.w[q] * bt.N[q][i] * bt.N[q][j];
+    return out;
+  }();
+  return m;
+}
+
+/// Reference stiffness matrix on [0,1]^DIM: K_ij = ∫ ∇N_i · ∇N_j.
+template <int DIM>
+const ElemMat<DIM>& refStiffness() {
+  static const ElemMat<DIM> m = [] {
+    ElemMat<DIM> out{};
+    const auto& quad = Quadrature<DIM, 2>::get();
+    const auto& bt = BasisTable<DIM, 2>::get();
+    for (int q = 0; q < Quadrature<DIM, 2>::kPoints; ++q)
+      for (int i = 0; i < kNodes<DIM>; ++i)
+        for (int j = 0; j < kNodes<DIM>; ++j)
+          out[i * kNodes<DIM> + j] +=
+              quad.w[q] * dot(bt.dN[q][i], bt.dN[q][j]);
+    return out;
+  }();
+  return m;
+}
+
+/// y += (h^DIM * M_ref) x — elemental mass apply.
+template <int DIM>
+void applyMass(Real h, const Real* x, Real* y) {
+  const auto& m = refMass<DIM>();
+  Real scale = 1.0;
+  for (int d = 0; d < DIM; ++d) scale *= h;
+  for (int i = 0; i < kNodes<DIM>; ++i) {
+    Real acc = 0;
+    for (int j = 0; j < kNodes<DIM>; ++j)
+      acc += m[i * kNodes<DIM> + j] * x[j];
+    y[i] += scale * acc;
+  }
+}
+
+/// y += (h^(DIM-2) * K_ref) x — elemental stiffness apply.
+template <int DIM>
+void applyStiffness(Real h, const Real* x, Real* y) {
+  const auto& k = refStiffness<DIM>();
+  const Real scale = (DIM == 2) ? 1.0 : h;  // h^(DIM-2)
+  for (int i = 0; i < kNodes<DIM>; ++i) {
+    Real acc = 0;
+    for (int j = 0; j < kNodes<DIM>; ++j)
+      acc += k[i * kNodes<DIM> + j] * x[j];
+    y[i] += scale * acc;
+  }
+}
+
+/// Quadrature point context handed to variable-coefficient integrands.
+template <int DIM>
+struct QPoint {
+  VecN<DIM> pos;        ///< physical position
+  Real w;               ///< quadrature weight * |J| (physical measure)
+  Real h;               ///< element size
+  const Real* N;        ///< shape values, kNodes entries
+  const VecN<DIM>* dN;  ///< PHYSICAL gradients, kNodes entries
+};
+
+/// Assembles an elemental matrix A_ij += ∫ f(q, i, j) over the element with
+/// anchor `origin` and size `h`. The integrand receives physical-space shape
+/// data. General but slower than the closed forms; used by the CHNS forms.
+template <int DIM, typename F>
+void assembleElemMat(const VecN<DIM>& origin, Real h, ElemMat<DIM>& A, F f) {
+  const auto& quad = Quadrature<DIM, 2>::get();
+  const auto& bt = BasisTable<DIM, 2>::get();
+  Real jac = 1.0;
+  for (int d = 0; d < DIM; ++d) jac *= h;
+  std::array<VecN<DIM>, kNodes<DIM>> grad;
+  for (int q = 0; q < Quadrature<DIM, 2>::kPoints; ++q) {
+    for (int i = 0; i < kNodes<DIM>; ++i) grad[i] = (1.0 / h) * bt.dN[q][i];
+    QPoint<DIM> qp;
+    for (int d = 0; d < DIM; ++d) qp.pos[d] = origin[d] + h * quad.xi[q][d];
+    qp.w = quad.w[q] * jac;
+    qp.h = h;
+    qp.N = bt.N[q].data();
+    qp.dN = grad.data();
+    for (int i = 0; i < kNodes<DIM>; ++i)
+      for (int j = 0; j < kNodes<DIM>; ++j)
+        A[i * kNodes<DIM> + j] += qp.w * f(qp, i, j);
+  }
+}
+
+/// Assembles an elemental vector b_i += ∫ f(q, i).
+template <int DIM, typename F>
+void assembleElemVec(const VecN<DIM>& origin, Real h, ElemVec<DIM>& b, F f) {
+  const auto& quad = Quadrature<DIM, 2>::get();
+  const auto& bt = BasisTable<DIM, 2>::get();
+  Real jac = 1.0;
+  for (int d = 0; d < DIM; ++d) jac *= h;
+  std::array<VecN<DIM>, kNodes<DIM>> grad;
+  for (int q = 0; q < Quadrature<DIM, 2>::kPoints; ++q) {
+    for (int i = 0; i < kNodes<DIM>; ++i) grad[i] = (1.0 / h) * bt.dN[q][i];
+    QPoint<DIM> qp;
+    for (int d = 0; d < DIM; ++d) qp.pos[d] = origin[d] + h * quad.xi[q][d];
+    qp.w = quad.w[q] * jac;
+    qp.h = h;
+    qp.N = bt.N[q].data();
+    qp.dN = grad.data();
+    for (int i = 0; i < kNodes<DIM>; ++i) b[i] += qp.w * f(qp, i);
+  }
+}
+
+/// Interpolates nodal values to a quadrature point: u(q) = Σ N_i u_i.
+template <int DIM>
+Real evalAtQ(const QPoint<DIM>& qp, const Real* u) {
+  Real v = 0;
+  for (int i = 0; i < kNodes<DIM>; ++i) v += qp.N[i] * u[i];
+  return v;
+}
+
+/// Physical gradient of the interpolant at a quadrature point.
+template <int DIM>
+VecN<DIM> gradAtQ(const QPoint<DIM>& qp, const Real* u) {
+  VecN<DIM> g;
+  for (int i = 0; i < kNodes<DIM>; ++i) g += u[i] * qp.dN[i];
+  return g;
+}
+
+}  // namespace pt::fem

@@ -1,0 +1,163 @@
+// zip/unzip DOF layouts and GEMM/GEMV-form elemental operators
+// (paper Sec II-D, Figs 2-3).
+//
+// Global vectors store DOFs node-major ("strided": value of dof d at node i
+// at index i*ndof + d — the natural layout for block BAIJ storage). During
+// elemental assembly, a loop over one dof then writes with stride ndof.
+// The *zip* operation regroups the elemental scratch dof-major (all values
+// of dof 0 contiguous, then dof 1, ...), so per-dof assembly loops stream
+// unit-stride; *unzip* restores the global layout. For matrices the zip
+// turns the (nodes*ndof)^2 elemental matrix into ndof^2 contiguous
+// nodes x nodes panels — each (dof_i, dof_j) operator writes one panel.
+//
+// The GEMM/GEMV forms express the elemental operator through the basis
+// evaluation matrix B (quadrature values/gradients x nodes):
+//   vector assembly:  b_e = B^T (D (B u))      (two GEMVs)
+//   matrix assembly:  A_e = B^T D B            (one GEMM, B premultiplied)
+// which maps onto vendor-optimized kernels and is what makes the zip
+// layout pay off (the panels are exactly the GEMM tiles).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "fem/basis.hpp"
+#include "support/types.hpp"
+
+namespace pt::fem {
+
+/// zip: strided (node-major) -> dof-major. in/out length nodes*ndof.
+inline void zipVec(const Real* in, Real* out, int nodes, int ndof) {
+  for (int i = 0; i < nodes; ++i)
+    for (int d = 0; d < ndof; ++d) out[d * nodes + i] = in[i * ndof + d];
+}
+
+/// unzip: dof-major -> strided (node-major).
+inline void unzipVec(const Real* in, Real* out, int nodes, int ndof) {
+  for (int d = 0; d < ndof; ++d)
+    for (int i = 0; i < nodes; ++i) out[i * ndof + d] = in[d * nodes + i];
+}
+
+/// unzip for elemental matrices: panels (dof_i, dof_j) of size nodes x nodes
+/// -> interleaved (nodes*ndof)^2 row-major. (Per the paper, matrices never
+/// need an explicit zip: assembly starts from a zero panel buffer and only
+/// the unzip runs once at the end.)
+inline void unzipMat(const Real* panels, Real* out, int nodes, int ndof) {
+  const int n = nodes * ndof;
+  for (int di = 0; di < ndof; ++di)
+    for (int dj = 0; dj < ndof; ++dj) {
+      const Real* p = panels + (di * ndof + dj) * nodes * nodes;
+      for (int i = 0; i < nodes; ++i)
+        for (int j = 0; j < nodes; ++j)
+          out[(i * ndof + di) * n + (j * ndof + dj)] = p[i * nodes + j];
+    }
+}
+
+/// zip for elemental matrices (inverse of unzipMat; provided for
+/// completeness and tests).
+inline void zipMat(const Real* in, Real* panels, int nodes, int ndof) {
+  const int n = nodes * ndof;
+  for (int di = 0; di < ndof; ++di)
+    for (int dj = 0; dj < ndof; ++dj) {
+      Real* p = panels + (di * ndof + dj) * nodes * nodes;
+      for (int i = 0; i < nodes; ++i)
+        for (int j = 0; j < nodes; ++j)
+          p[i * nodes + j] = in[(i * ndof + di) * n + (j * ndof + dj)];
+    }
+}
+
+/// Basis evaluation matrix for the GEMM/GEMV forms: rows are (quad point,
+/// derivative slot) pairs — slot 0 = value, slots 1..DIM = d/dx_d scaled by
+/// 1/h at apply time — columns are element nodes.
+template <int DIM, int Q = 2>
+struct BasisMatrix {
+  static constexpr int kN = kNodes<DIM>;
+  static constexpr int kQ = Quadrature<DIM, Q>::kPoints;
+  static constexpr int kRows = kQ * (1 + DIM);
+
+  std::array<Real, std::size_t(kRows) * kN> B{};
+
+  BasisMatrix() {
+    const auto& bt = BasisTable<DIM, Q>::get();
+    for (int q = 0; q < kQ; ++q)
+      for (int i = 0; i < kN; ++i) {
+        B[(q * (1 + DIM)) * kN + i] = bt.N[q][i];
+        for (int d = 0; d < DIM; ++d)
+          B[(q * (1 + DIM) + 1 + d) * kN + i] = bt.dN[q][i][d];
+      }
+  }
+
+  static const BasisMatrix& get() {
+    static const BasisMatrix inst;
+    return inst;
+  }
+};
+
+/// GEMV-form elemental operator application (vector assembly): computes
+/// out += B^T (D (B in)) for one scalar dof, where D carries the quadrature
+/// weights times (massCoef for the value slot, stiffCoef/h^2 for gradient
+/// slots) and the h-scalings. Equivalent to the naive quadrature loop for a
+/// mass + stiffness operator, but expressed as two matrix-vector products.
+template <int DIM, int Q = 2>
+void applyGemvOperator(Real h, Real massCoef, Real stiffCoef, const Real* in,
+                       Real* out) {
+  using BM = BasisMatrix<DIM, Q>;
+  const auto& bm = BM::get();
+  const auto& quad = Quadrature<DIM, Q>::get();
+  Real jac = 1;
+  for (int d = 0; d < DIM; ++d) jac *= h;
+  // t = B * in  (kRows)
+  std::array<Real, BM::kRows> t{};
+  for (int r = 0; r < BM::kRows; ++r) {
+    Real acc = 0;
+    for (int i = 0; i < BM::kN; ++i) acc += bm.B[r * BM::kN + i] * in[i];
+    t[r] = acc;
+  }
+  // t = D * t
+  for (int q = 0; q < BM::kQ; ++q) {
+    const Real w = quad.w[q] * jac;
+    t[q * (1 + DIM)] *= w * massCoef;
+    for (int d = 0; d < DIM; ++d)
+      t[q * (1 + DIM) + 1 + d] *= w * stiffCoef / (h * h);
+  }
+  // out += B^T * t
+  for (int i = 0; i < BM::kN; ++i) {
+    Real acc = 0;
+    for (int r = 0; r < BM::kRows; ++r) acc += bm.B[r * BM::kN + i] * t[r];
+    out[i] += acc;
+  }
+}
+
+/// GEMM-form elemental matrix assembly: A_e += B^T D B (row-major kN x kN),
+/// with D as in applyGemvOperator.
+template <int DIM, int Q = 2>
+void assembleGemmOperator(Real h, Real massCoef, Real stiffCoef, Real* Ae) {
+  using BM = BasisMatrix<DIM, Q>;
+  const auto& bm = BM::get();
+  const auto& quad = Quadrature<DIM, Q>::get();
+  Real jac = 1;
+  for (int d = 0; d < DIM; ++d) jac *= h;
+  // DB = D * B
+  std::array<Real, std::size_t(BM::kRows) * BM::kN> DB;
+  for (int q = 0; q < BM::kQ; ++q) {
+    const Real w = quad.w[q] * jac;
+    for (int i = 0; i < BM::kN; ++i) {
+      DB[(q * (1 + DIM)) * BM::kN + i] =
+          w * massCoef * bm.B[(q * (1 + DIM)) * BM::kN + i];
+      for (int d = 0; d < DIM; ++d)
+        DB[(q * (1 + DIM) + 1 + d) * BM::kN + i] =
+            w * (stiffCoef / (h * h)) *
+            bm.B[(q * (1 + DIM) + 1 + d) * BM::kN + i];
+    }
+  }
+  // Ae += B^T * DB
+  for (int i = 0; i < BM::kN; ++i)
+    for (int j = 0; j < BM::kN; ++j) {
+      Real acc = 0;
+      for (int r = 0; r < BM::kRows; ++r)
+        acc += bm.B[r * BM::kN + i] * DB[r * BM::kN + j];
+      Ae[i * BM::kN + j] += acc;
+    }
+}
+
+}  // namespace pt::fem

@@ -1,0 +1,182 @@
+// Matrix-free MATVEC over the distributed mesh — the paper's core kernel
+// ("MATVEC operations are at the heart of FEM computations"): a single pass
+// over the local elements with gather (hanging interpolation), an elemental
+// kernel, scatter (transpose interpolation), and one ghost accumulation.
+//
+// The same traversal, with INSERT instead of ADD semantics, drives the
+// erosion/dilation passes of the local-Cahn identifier (Algorithm 2).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fem/elem_ops.hpp"
+#include "mesh/mesh.hpp"
+#include "support/types.hpp"
+
+namespace pt::fem {
+
+/// Gathers the 2^DIM * ndof corner values of element `e` from a consistent
+/// field, applying hanging-node interpolation weights.
+template <int DIM>
+void gatherElem(const RankMesh<DIM>& rm, std::size_t e,
+                const std::vector<Real>& x, int ndof, Real* out) {
+  constexpr int kC = kNumChildren<DIM>;
+  for (int c = 0; c < kC; ++c) {
+    for (int d = 0; d < ndof; ++d) out[c * ndof + d] = 0.0;
+    const std::uint32_t lo = rm.cornerOffset[e * kC + c];
+    const std::uint32_t hi = rm.cornerOffset[e * kC + c + 1];
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      const auto& sup = rm.supports[s];
+      for (int d = 0; d < ndof; ++d)
+        out[c * ndof + d] += sup.weight * x[sup.node * ndof + d];
+    }
+  }
+}
+
+/// Scatter-add of elemental results back to nodes (transpose of gather).
+template <int DIM>
+void scatterAddElem(const RankMesh<DIM>& rm, std::size_t e, const Real* in,
+                    int ndof, std::vector<Real>& y) {
+  constexpr int kC = kNumChildren<DIM>;
+  for (int c = 0; c < kC; ++c) {
+    const std::uint32_t lo = rm.cornerOffset[e * kC + c];
+    const std::uint32_t hi = rm.cornerOffset[e * kC + c + 1];
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      const auto& sup = rm.supports[s];
+      for (int d = 0; d < ndof; ++d)
+        y[sup.node * ndof + d] += sup.weight * in[c * ndof + d];
+    }
+  }
+}
+
+/// INSERT-semantics elemental write: sets every support node of every
+/// corner to the given per-corner values and flags it written.
+template <int DIM>
+void scatterInsertElem(const RankMesh<DIM>& rm, std::size_t e, const Real* in,
+                       int ndof, std::vector<Real>& y,
+                       std::vector<char>& written) {
+  constexpr int kC = kNumChildren<DIM>;
+  for (int c = 0; c < kC; ++c) {
+    const std::uint32_t lo = rm.cornerOffset[e * kC + c];
+    const std::uint32_t hi = rm.cornerOffset[e * kC + c + 1];
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      const auto& sup = rm.supports[s];
+      for (int d = 0; d < ndof; ++d)
+        y[sup.node * ndof + d] = in[c * ndof + d];
+      written[sup.node] = 1;
+    }
+  }
+}
+
+/// Elemental kernel signature: out += A_e * in for one element.
+/// `in`/`out` are kNodes*ndof arrays; `oct` gives geometry.
+template <int DIM>
+using ElemKernel =
+    std::function<void(const Octant<DIM>& oct, const Real* in, Real* out)>;
+
+/// Estimated work units per element for the machine model (gather + kernel
+/// + scatter of a kNodes x kNodes dense elemental operator).
+template <int DIM>
+double matvecWorkPerElem(int ndof) {
+  const double n = kNodes<DIM> * ndof;
+  return 2.0 * n * n + 8.0 * n;
+}
+
+/// Distributed matrix-free MATVEC: y = A x with A defined element-wise.
+/// `x` must be ghost-consistent; `y` is overwritten and ends consistent.
+template <int DIM>
+void matvec(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
+            const ElemKernel<DIM>& kernel) {
+  const int p = mesh.nRanks();
+  constexpr int kC = kNumChildren<DIM>;
+  std::vector<Real> uLoc(kC * ndof), rLoc(kC * ndof);
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    y[r].assign(rm.nNodes() * ndof, 0.0);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      gatherElem(rm, e, x[r], ndof, uLoc.data());
+      std::fill(rLoc.begin(), rLoc.end(), 0.0);
+      kernel(rm.elems[e], uLoc.data(), rLoc.data());
+      scatterAddElem(rm, e, rLoc.data(), ndof, y[r]);
+    }
+    mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
+  }
+  mesh.accumulate(y, ndof);  // ghost write (ADD) + ghost read
+}
+
+/// MATVEC variant whose kernel also receives (rank, element index) so the
+/// caller can gather auxiliary state fields (velocity, phase field, ...)
+/// for the element — used by the CHNS operators.
+template <int DIM, typename Kernel>
+void matvecIndexed(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
+                   Kernel&& kernel) {
+  const int p = mesh.nRanks();
+  constexpr int kC = kNumChildren<DIM>;
+  std::vector<Real> uLoc(kC * ndof), rLoc(kC * ndof);
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    y[r].assign(rm.nNodes() * ndof, 0.0);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      gatherElem(rm, e, x[r], ndof, uLoc.data());
+      std::fill(rLoc.begin(), rLoc.end(), 0.0);
+      kernel(r, e, rm.elems[e], uLoc.data(), rLoc.data());
+      scatterAddElem(rm, e, rLoc.data(), ndof, y[r]);
+    }
+    mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
+  }
+  mesh.accumulate(y, ndof);
+}
+
+/// Assembles a global "vector" (rhs) from an elemental vector kernel:
+/// kernel(rank, e, oct, out[kC*ndof]).
+template <int DIM, typename Kernel>
+void assembleRhs(const Mesh<DIM>& mesh, Field& y, int ndof, Kernel&& kernel) {
+  const int p = mesh.nRanks();
+  constexpr int kC = kNumChildren<DIM>;
+  std::vector<Real> rLoc(kC * ndof);
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    y[r].assign(rm.nNodes() * ndof, 0.0);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      std::fill(rLoc.begin(), rLoc.end(), 0.0);
+      kernel(r, e, rm.elems[e], rLoc.data());
+      scatterAddElem(rm, e, rLoc.data(), ndof, y[r]);
+    }
+    mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
+  }
+  mesh.accumulate(y, ndof);
+}
+
+/// Mass-matrix MATVEC (ndof = 1).
+template <int DIM>
+void massMatvec(const Mesh<DIM>& mesh, const Field& x, Field& y) {
+  matvec<DIM>(mesh, x, y, 1,
+              [](const Octant<DIM>& oct, const Real* in, Real* out) {
+                applyMass<DIM>(oct.physSize(), in, out);
+              });
+}
+
+/// Stiffness-matrix MATVEC (ndof = 1).
+template <int DIM>
+void stiffnessMatvec(const Mesh<DIM>& mesh, const Field& x, Field& y) {
+  matvec<DIM>(mesh, x, y, 1,
+              [](const Octant<DIM>& oct, const Real* in, Real* out) {
+                applyStiffness<DIM>(oct.physSize(), in, out);
+              });
+}
+
+/// Evaluates a callback at every node position of a field (e.g. to set
+/// initial conditions). Ends consistent by construction (same function
+/// applied to every copy).
+template <int DIM>
+void setByPosition(const Mesh<DIM>& mesh, Field& f, int ndof,
+                   const std::function<void(const VecN<DIM>&, Real*)>& fn) {
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li)
+      fn(nodeCoords(rm.nodeKeys[li]), &f[r][li * ndof]);
+  }
+}
+
+}  // namespace pt::fem

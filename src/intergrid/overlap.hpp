@@ -1,0 +1,110 @@
+// The ⊑ ordering over overlap equivalence classes (paper Sec II-C2c/d).
+//
+// For octants from two leaf sets, x ~ y ("same class") iff they overlap
+// (one is an ancestor of the other — for two leaf sets the common ancestor
+// is the coarser member itself). The quasiorder x ⊑ y := (x < y on the SFC)
+// or (x ~ y) totally orders the classes, and — crucially — lets partition
+// overlaps be found with plain binary searches over the per-rank first/last
+// octant endpoint arrays, consistently across processes.
+#pragma once
+
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "support/check.hpp"
+
+namespace pt::intergrid {
+
+/// x ⊑ y: x precedes-or-shares-class-with y.
+template <int DIM>
+bool sqLessEq(const Octant<DIM>& x, const Octant<DIM>& y) {
+  return overlaps(x, y) || sfcLess(x, y);
+}
+
+/// x ⊏ y: strict part (precedes without overlapping).
+template <int DIM>
+bool sqLess(const Octant<DIM>& x, const Octant<DIM>& y) {
+  return !overlaps(x, y) && sfcLess(x, y);
+}
+
+/// Per-rank partition endpoints of a distributed leaf set: first[r]/last[r]
+/// are rank r's first and last octants; empty ranks are flagged.
+template <int DIM>
+struct PartitionEndpoints {
+  std::vector<Octant<DIM>> first, last;
+  std::vector<char> hasData;
+
+  template <typename GetLocal>
+  static PartitionEndpoints fromLocals(int nranks, GetLocal&& localOf) {
+    PartitionEndpoints pe;
+    pe.first.resize(nranks);
+    pe.last.resize(nranks);
+    pe.hasData.resize(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      const auto& loc = localOf(r);
+      pe.hasData[r] = !loc.empty();
+      if (pe.hasData[r]) {
+        pe.first[r] = loc.front();
+        pe.last[r] = loc.back();
+      }
+    }
+    return pe;
+  }
+};
+
+/// Ranks q of partition H whose interval [H_q^-, H_q^+] intersects the
+/// ⊑-interval [lo, hi]: exactly those with lo ⊑ H_q^+ and H_q^- ⊑ hi.
+/// Returns them in increasing order. (Intersection of ⊑-intervals — paper:
+/// "A ⊑-interval G_p^- … G_p^+ intersects H_q^- … H_q^+ iff both
+/// G_p^- ⊑ H_q^+ and H_q^- ⊑ G_p^+".)
+template <int DIM>
+std::vector<int> overlappedRanks(const PartitionEndpoints<DIM>& H,
+                                 const Octant<DIM>& lo,
+                                 const Octant<DIM>& hi) {
+  std::vector<int> out;
+  const int p = static_cast<int>(H.first.size());
+  // Both predicates are monotone in q over nonempty ranks, so binary
+  // searches apply; with empty ranks interspersed a linear scan over the
+  // endpoint table (p entries, local data only) is simplest and still
+  // involves no process-local octant data — matching the paper's point that
+  // "the searches only involve partition endpoints".
+  for (int q = 0; q < p; ++q) {
+    if (!H.hasData[q]) continue;
+    if (sqLessEq(lo, H.last[q]) && sqLessEq(H.first[q], hi)) out.push_back(q);
+  }
+  return out;
+}
+
+/// Range [i0, i1) of a sorted local octant list overlapped by the
+/// ⊑-interval [lo, hi] (paper: rank_{G_p ⊏}(H_q^-) <= i < rank_{G_p ⊑}(H_q^+)).
+template <int DIM>
+std::pair<std::size_t, std::size_t> overlappedLocalRange(
+    const OctList<DIM>& local, const Octant<DIM>& lo, const Octant<DIM>& hi) {
+  // First index NOT strictly before lo: local[i] ⊏ lo fails.
+  std::size_t i0 = 0, i1 = local.size();
+  {
+    std::size_t a = 0, b = local.size();
+    while (a < b) {
+      const std::size_t m = (a + b) / 2;
+      if (sqLess(local[m], lo))
+        a = m + 1;
+      else
+        b = m;
+    }
+    i0 = a;
+  }
+  {
+    std::size_t a = i0, b = local.size();
+    while (a < b) {
+      const std::size_t m = (a + b) / 2;
+      if (sqLessEq(local[m], hi))
+        a = m + 1;
+      else
+        b = m;
+    }
+    i1 = a;
+  }
+  return {i0, i1};
+}
+
+}  // namespace pt::intergrid

@@ -1,0 +1,258 @@
+// Checkpoint / restart with the paper's active-inactive communicator logic
+// (Sec II-E): checkpoints written from P_old ranks can be reloaded on
+// P_new >= P_old ranks. On load, the first P_old ranks form the *active*
+// communicator and receive the stored data (the mesh exists only there);
+// the inactive ranks hold empty partitions until the first repartition or
+// remesh redistributes the tree across the full communicator — exactly the
+// activation trigger the paper describes.
+//
+// Nodal fields are stored as (node key, values) pairs so restart is robust
+// to renumbering; elemental fields are stored in leaf order.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "octree/distributed.hpp"
+#include "support/check.hpp"
+
+namespace pt::io {
+
+template <int DIM>
+struct Checkpoint {
+  OctList<DIM> leaves;  ///< global linear octree
+  /// Named nodal fields: (ndof, per-key values sorted by key).
+  struct NodalField {
+    std::string name;
+    int ndof;
+    std::vector<NodeKey<DIM>> keys;
+    std::vector<Real> values;  ///< keys.size() * ndof
+  };
+  std::vector<NodalField> nodal;
+  /// Named elemental fields in leaf order.
+  struct CellField {
+    std::string name;
+    std::vector<Real> values;  ///< leaves.size()
+  };
+  std::vector<CellField> cell;
+  int writerRanks = 1;  ///< rank count at dump time (active comm size)
+};
+
+/// Extracts a checkpoint from a live mesh + fields (dedup by node key,
+/// owner's value wins — all copies agree on consistent fields).
+template <int DIM>
+Checkpoint<DIM> makeCheckpoint(
+    const DistTree<DIM>& tree, const Mesh<DIM>& mesh,
+    const std::vector<std::pair<std::string, std::pair<const Field*, int>>>&
+        nodalFields,
+    const std::vector<std::pair<std::string,
+                                const sim::PerRank<std::vector<Real>>*>>&
+        cellFields = {}) {
+  Checkpoint<DIM> ck;
+  ck.leaves = tree.gather();
+  ck.writerRanks = tree.nRanks();
+  for (const auto& [name, fi] : nodalFields) {
+    const auto& [field, ndof] = fi;
+    typename Checkpoint<DIM>::NodalField nf;
+    nf.name = name;
+    nf.ndof = ndof;
+    std::map<NodeKey<DIM>, std::vector<Real>, NodeKeyLess<DIM>> byKey;
+    for (int r = 0; r < mesh.nRanks(); ++r) {
+      const RankMesh<DIM>& rm = mesh.rank(r);
+      for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+        if (rm.nodeOwner[li] != r) continue;
+        std::vector<Real> v(ndof);
+        for (int d = 0; d < ndof; ++d) v[d] = (*field)[r][li * ndof + d];
+        byKey[rm.nodeKeys[li]] = std::move(v);
+      }
+    }
+    for (auto& [k, v] : byKey) {
+      nf.keys.push_back(k);
+      nf.values.insert(nf.values.end(), v.begin(), v.end());
+    }
+    ck.nodal.push_back(std::move(nf));
+  }
+  for (const auto& [name, vals] : cellFields) {
+    typename Checkpoint<DIM>::CellField cf;
+    cf.name = name;
+    for (int r = 0; r < tree.nRanks(); ++r)
+      cf.values.insert(cf.values.end(), (*vals)[r].begin(),
+                       (*vals)[r].end());
+    ck.cell.push_back(std::move(cf));
+  }
+  return ck;
+}
+
+/// Binary serialization.
+template <int DIM>
+void saveCheckpoint(const std::string& path, const Checkpoint<DIM>& ck) {
+  std::ofstream os(path, std::ios::binary);
+  PT_CHECK_MSG(os.good(), "cannot open checkpoint file " + path);
+  auto w64 = [&](std::uint64_t v) { os.write(reinterpret_cast<char*>(&v), 8); };
+  auto wreal = [&](Real v) { os.write(reinterpret_cast<char*>(&v), sizeof v); };
+  w64(0x50485452454531ull);  // magic "PHTREE1"
+  w64(DIM);
+  w64(ck.writerRanks);
+  w64(ck.leaves.size());
+  for (const auto& o : ck.leaves) {
+    for (int d = 0; d < DIM; ++d) w64(o.x[d]);
+    w64(o.level);
+  }
+  w64(ck.nodal.size());
+  for (const auto& nf : ck.nodal) {
+    w64(nf.name.size());
+    os.write(nf.name.data(), nf.name.size());
+    w64(nf.ndof);
+    w64(nf.keys.size());
+    for (const auto& k : nf.keys)
+      for (int d = 0; d < DIM; ++d) w64(k[d]);
+    for (Real v : nf.values) wreal(v);
+  }
+  w64(ck.cell.size());
+  for (const auto& cf : ck.cell) {
+    w64(cf.name.size());
+    os.write(cf.name.data(), cf.name.size());
+    w64(cf.values.size());
+    for (Real v : cf.values) wreal(v);
+  }
+  PT_CHECK_MSG(os.good(), "checkpoint write failed: " + path);
+}
+
+template <int DIM>
+Checkpoint<DIM> loadCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PT_CHECK_MSG(is.good(), "cannot open checkpoint file " + path);
+  auto r64 = [&]() {
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), 8);
+    return v;
+  };
+  auto rreal = [&]() {
+    Real v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof v);
+    return v;
+  };
+  PT_CHECK_MSG(r64() == 0x50485452454531ull, "bad checkpoint magic");
+  PT_CHECK_MSG(r64() == static_cast<std::uint64_t>(DIM),
+               "checkpoint dimension mismatch");
+  Checkpoint<DIM> ck;
+  ck.writerRanks = static_cast<int>(r64());
+  ck.leaves.resize(r64());
+  for (auto& o : ck.leaves) {
+    for (int d = 0; d < DIM; ++d) o.x[d] = static_cast<std::uint32_t>(r64());
+    o.level = static_cast<Level>(r64());
+  }
+  const std::uint64_t nNodal = r64();
+  for (std::uint64_t i = 0; i < nNodal; ++i) {
+    typename Checkpoint<DIM>::NodalField nf;
+    nf.name.resize(r64());
+    is.read(nf.name.data(), nf.name.size());
+    nf.ndof = static_cast<int>(r64());
+    nf.keys.resize(r64());
+    for (auto& k : nf.keys)
+      for (int d = 0; d < DIM; ++d) k[d] = static_cast<std::uint32_t>(r64());
+    nf.values.resize(nf.keys.size() * nf.ndof);
+    for (Real& v : nf.values) v = rreal();
+    ck.nodal.push_back(std::move(nf));
+  }
+  const std::uint64_t nCell = r64();
+  for (std::uint64_t i = 0; i < nCell; ++i) {
+    typename Checkpoint<DIM>::CellField cf;
+    cf.name.resize(r64());
+    is.read(cf.name.data(), cf.name.size());
+    cf.values.resize(r64());
+    for (Real& v : cf.values) v = rreal();
+    ck.cell.push_back(std::move(cf));
+  }
+  PT_CHECK_MSG(is.good(), "checkpoint read failed: " + path);
+  return ck;
+}
+
+/// Result of restoring a checkpoint onto a (possibly larger) communicator.
+template <int DIM>
+struct Restored {
+  DistTree<DIM> tree;
+  std::unique_ptr<Mesh<DIM>> mesh;
+  std::vector<std::pair<std::string, Field>> nodal;
+  std::vector<std::pair<std::string, sim::PerRank<std::vector<Real>>>> cell;
+  int activeRanks = 0;  ///< size of the active communicator at load
+};
+
+/// Restores a checkpoint on `comm`. comm.size() must be >= the writer rank
+/// count. Data is loaded on the active sub-communicator (the first
+/// writerRanks ranks); if `redistribute` is set, a repartition follows and
+/// the inactive ranks become active — as in the paper, activation happens
+/// at the first repartition/remesh.
+template <int DIM>
+Restored<DIM> restoreCheckpoint(sim::SimComm& comm, const Checkpoint<DIM>& ck,
+                                bool redistribute = true) {
+  const int p = comm.size();
+  PT_CHECK_MSG(p >= ck.writerRanks,
+               "cannot restart on fewer ranks than the checkpoint writer");
+  Restored<DIM> out{DistTree<DIM>(comm), nullptr, {}, {}, 0};
+  out.activeRanks = ck.writerRanks;
+  // Load within the active communicator: block-distribute over the first
+  // writerRanks ranks only; the rest stay empty (inactive).
+  {
+    const std::size_t n = ck.leaves.size();
+    for (int r = 0; r < ck.writerRanks; ++r) {
+      const std::size_t lo = (n * r) / ck.writerRanks;
+      const std::size_t hi = (n * (r + 1)) / ck.writerRanks;
+      out.tree.localOf(r).assign(ck.leaves.begin() + lo,
+                                 ck.leaves.begin() + hi);
+    }
+  }
+  // Cell fields follow the leaf distribution.
+  for (const auto& cf : ck.cell) {
+    sim::PerRank<std::vector<Real>> vals(p);
+    const std::size_t n = ck.leaves.size();
+    for (int r = 0; r < ck.writerRanks; ++r) {
+      const std::size_t lo = (n * r) / ck.writerRanks;
+      const std::size_t hi = (n * (r + 1)) / ck.writerRanks;
+      vals[r].assign(cf.values.begin() + lo, cf.values.begin() + hi);
+    }
+    out.cell.emplace_back(cf.name, std::move(vals));
+  }
+  if (redistribute) {
+    // The repartition activates the inactive ranks. Keep the cell fields
+    // aligned by rebalancing (octant, value) pairs together.
+    for (auto& [name, vals] : out.cell) {
+      sim::PerRank<std::vector<std::pair<Octant<DIM>, Real>>> tagged(p);
+      for (int r = 0; r < p; ++r)
+        for (std::size_t e = 0; e < out.tree.localOf(r).size(); ++e)
+          tagged[r].emplace_back(out.tree.localOf(r)[e], vals[r][e]);
+      sim::rebalanceEqual(comm, tagged);
+      for (int r = 0; r < p; ++r) {
+        vals[r].resize(tagged[r].size());
+        for (std::size_t e = 0; e < tagged[r].size(); ++e)
+          vals[r][e] = tagged[r][e].second;
+      }
+    }
+    out.tree.repartition();
+  }
+  out.mesh = std::make_unique<Mesh<DIM>>(Mesh<DIM>::build(comm, out.tree));
+  // Nodal fields: match stored (key, value) pairs against the new mesh's
+  // node keys (works for any partition since keys are global).
+  for (const auto& nf : ck.nodal) {
+    Field f = out.mesh->makeField(nf.ndof);
+    for (int r = 0; r < p; ++r) {
+      const RankMesh<DIM>& rm = out.mesh->rank(r);
+      for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+        auto it = std::lower_bound(nf.keys.begin(), nf.keys.end(),
+                                   rm.nodeKeys[li], NodeKeyLess<DIM>{});
+        PT_CHECK_MSG(it != nf.keys.end() && *it == rm.nodeKeys[li],
+                     "checkpoint missing node key for field " + nf.name);
+        const std::size_t idx = it - nf.keys.begin();
+        for (int d = 0; d < nf.ndof; ++d)
+          f[r][li * nf.ndof + d] = nf.values[idx * nf.ndof + d];
+      }
+    }
+    out.nodal.emplace_back(nf.name, std::move(f));
+  }
+  return out;
+}
+
+}  // namespace pt::io

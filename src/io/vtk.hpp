@@ -1,0 +1,102 @@
+// Legacy-VTK (ASCII) output of octree meshes and fields, for visual
+// inspection of the jet-atomization runs (paper Figs 6-7 style output).
+// Cells are written as VTK_PIXEL / VTK_VOXEL with per-cell corner points
+// (vertices duplicated between cells — simple and robust for viz).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fem/matvec.hpp"
+#include "mesh/mesh.hpp"
+#include "support/check.hpp"
+
+namespace pt::io {
+
+/// One named nodal field (scalar components written separately).
+template <int DIM>
+struct VtkNodalField {
+  std::string name;
+  const Field* field;
+  int ndof;
+};
+
+/// One named per-element field.
+struct VtkCellField {
+  std::string name;
+  const sim::PerRank<std::vector<Real>>* values;
+};
+
+/// Writes the whole distributed mesh (gathered) to a legacy VTK file.
+template <int DIM>
+void writeVtk(const std::string& path, const Mesh<DIM>& mesh,
+              const std::vector<VtkNodalField<DIM>>& nodal = {},
+              const std::vector<VtkCellField>& cell = {}) {
+  constexpr int kC = kNumChildren<DIM>;
+  std::ofstream os(path);
+  PT_CHECK_MSG(os.good(), "cannot open VTK output file " + path);
+
+  std::size_t nElems = mesh.globalElemCount();
+  os << "# vtk DataFile Version 3.0\nPhaseTree mesh\nASCII\n"
+     << "DATASET UNSTRUCTURED_GRID\n";
+  os << "POINTS " << nElems * kC << " double\n";
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (std::size_t e = 0; e < rm.nElems(); ++e)
+      for (int c = 0; c < kC; ++c) {
+        const auto k = cornerKey(rm.elems[e], c);
+        const auto x = nodeCoords(k);
+        os << x[0] << " " << x[1] << " " << (DIM == 3 ? x[DIM - 1] : 0.0)
+           << "\n";
+      }
+  }
+  os << "CELLS " << nElems << " " << nElems * (kC + 1) << "\n";
+  for (std::size_t e = 0; e < nElems; ++e) {
+    os << kC;
+    for (int c = 0; c < kC; ++c) os << " " << e * kC + c;
+    os << "\n";
+  }
+  os << "CELL_TYPES " << nElems << "\n";
+  const int vtkType = (DIM == 2) ? 8 : 11;  // PIXEL : VOXEL
+  for (std::size_t e = 0; e < nElems; ++e) os << vtkType << "\n";
+
+  // Point data: nodal fields evaluated at the (duplicated) cell corners,
+  // hanging-consistent via gatherElem.
+  if (!nodal.empty()) {
+    os << "POINT_DATA " << nElems * kC << "\n";
+    std::vector<Real> loc;
+    for (const auto& nf : nodal) {
+      loc.resize(kC * nf.ndof);
+      for (int comp = 0; comp < nf.ndof; ++comp) {
+        os << "SCALARS " << nf.name
+           << (nf.ndof > 1 ? "_" + std::to_string(comp) : "")
+           << " double 1\nLOOKUP_TABLE default\n";
+        for (int r = 0; r < mesh.nRanks(); ++r) {
+          const RankMesh<DIM>& rm = mesh.rank(r);
+          for (std::size_t e = 0; e < rm.nElems(); ++e) {
+            fem::gatherElem(rm, e, (*nf.field)[r], nf.ndof, loc.data());
+            for (int c = 0; c < kC; ++c) os << loc[c * nf.ndof + comp] << "\n";
+          }
+        }
+      }
+    }
+  }
+
+  // Cell data: user fields + always level and owner rank.
+  os << "CELL_DATA " << nElems << "\n";
+  os << "SCALARS level int 1\nLOOKUP_TABLE default\n";
+  for (int r = 0; r < mesh.nRanks(); ++r)
+    for (const auto& oct : mesh.rank(r).elems) os << int(oct.level) << "\n";
+  os << "SCALARS rank int 1\nLOOKUP_TABLE default\n";
+  for (int r = 0; r < mesh.nRanks(); ++r)
+    for (std::size_t e = 0; e < mesh.rank(r).nElems(); ++e) os << r << "\n";
+  for (const auto& cf : cell) {
+    os << "SCALARS " << cf.name << " double 1\nLOOKUP_TABLE default\n";
+    for (int r = 0; r < mesh.nRanks(); ++r)
+      for (Real v : (*cf.values)[r]) os << v << "\n";
+  }
+  PT_CHECK_MSG(os.good(), "VTK write failed for " + path);
+}
+
+}  // namespace pt::io

@@ -1,0 +1,274 @@
+// Distributed block-sparse matrix — the MATMPIBAIJ analogue (paper Sec
+// II-D: "we store the matrix in the form of block storage MATMPIBAIJ").
+//
+// Row ownership follows the mesh's node ownership (global node ids are
+// contiguous per owner rank). Elemental contributions may target rows owned
+// by other ranks; they are buffered locally and shipped to the row owner at
+// assemblyEnd() — the MatAssemblyBegin/End stash-and-exchange semantics.
+// Columns are global ids; the SpMV fetches the needed off-rank x entries
+// ("ghost columns") with one NBX sparse exchange per apply, using a fetch
+// plan frozen at assembly time.
+//
+// Vectors for multiply() are mesh Fields (per-rank local node arrays);
+// conversion between local node indices and global ids uses the mesh's
+// node tables, so the assembled operator can be compared entry-for-entry
+// against the matrix-free MATVEC (tested).
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "fem/matvec.hpp"
+#include "mesh/mesh.hpp"
+#include "sim/comm.hpp"
+#include "support/check.hpp"
+
+namespace pt::la {
+
+template <int DIM>
+class DistBsr {
+ public:
+  /// bs = DOFs per node (block size).
+  DistBsr(const Mesh<DIM>& mesh, int bs) : mesh_(&mesh), bs_(bs) {
+    const int p = mesh.nRanks();
+    stash_.resize(p);
+    local_.resize(p);
+    // Per-rank: owned-row table (globalId -> dense row map during COO).
+    rowStart_.assign(p + 1, 0);
+    std::vector<GlobalIdx> ownedCount(p, 0);
+    for (int r = 0; r < p; ++r) {
+      const RankMesh<DIM>& rm = mesh.rank(r);
+      for (std::size_t li = 0; li < rm.nNodes(); ++li)
+        if (rm.nodeOwner[li] == r) ++ownedCount[r];
+    }
+    for (int r = 0; r < p; ++r) rowStart_[r + 1] = rowStart_[r] + ownedCount[r];
+  }
+
+  int blockSize() const { return bs_; }
+  bool assembled() const { return assembled_; }
+
+  /// Owner rank of a global (block-)row id.
+  int ownerOfRow(GlobalIdx row) const {
+    const auto it =
+        std::upper_bound(rowStart_.begin(), rowStart_.end(), row);
+    return static_cast<int>(it - rowStart_.begin()) - 1;
+  }
+
+  /// Adds a bs x bs block at global block position (bi, bj), from rank
+  /// `srcRank`'s assembly loop. Off-rank rows are stashed.
+  void addBlock(int srcRank, GlobalIdx bi, GlobalIdx bj, const Real* block) {
+    PT_CHECK_MSG(!assembled_, "matrix already assembled");
+    const int owner = ownerOfRow(bi);
+    auto& target = (owner == srcRank) ? local_[srcRank] : stash_[srcRank];
+    auto [it, inserted] =
+        target.try_emplace({bi, bj}, std::vector<Real>(bs_ * bs_, 0.0));
+    for (int k = 0; k < bs_ * bs_; ++k) it->second[k] += block[k];
+  }
+
+  /// Assembles an elemental matrix (kNodes*bs square, row-major) through
+  /// the mesh's hanging-node supports: A += P^T A_e P, routed per block.
+  void addElemMatrix(int rank, std::size_t e, const Real* Ae) {
+    constexpr int kC = kNumChildren<DIM>;
+    const RankMesh<DIM>& rm = mesh_->rank(rank);
+    const int n = kC * bs_;
+    std::vector<Real> blk(bs_ * bs_);
+    for (int c1 = 0; c1 < kC; ++c1) {
+      const std::uint32_t lo1 = rm.cornerOffset[e * kC + c1];
+      const std::uint32_t hi1 = rm.cornerOffset[e * kC + c1 + 1];
+      for (int c2 = 0; c2 < kC; ++c2) {
+        const std::uint32_t lo2 = rm.cornerOffset[e * kC + c2];
+        const std::uint32_t hi2 = rm.cornerOffset[e * kC + c2 + 1];
+        for (std::uint32_t s1 = lo1; s1 < hi1; ++s1)
+          for (std::uint32_t s2 = lo2; s2 < hi2; ++s2) {
+            const Real w =
+                rm.supports[s1].weight * rm.supports[s2].weight;
+            for (int d1 = 0; d1 < bs_; ++d1)
+              for (int d2 = 0; d2 < bs_; ++d2)
+                blk[d1 * bs_ + d2] =
+                    w * Ae[(c1 * bs_ + d1) * n + (c2 * bs_ + d2)];
+            addBlock(rank, rm.nodeIds[rm.supports[s1].node],
+                     rm.nodeIds[rm.supports[s2].node], blk.data());
+          }
+      }
+    }
+  }
+
+  /// MatAssemblyBegin/End: ships stashed off-rank rows to their owners and
+  /// freezes the structure, including the ghost-column fetch plan.
+  void assemblyEnd() {
+    PT_CHECK(!assembled_);
+    sim::SimComm& comm = mesh_->comm();
+    const int p = comm.size();
+    // Ship stashes: payload = (bi, bj, bs*bs values) triples.
+    sim::SparseSends<Real> sends(p);
+    for (int r = 0; r < p; ++r) {
+      std::map<int, std::vector<Real>> byOwner;
+      for (const auto& [ij, blk] : stash_[r]) {
+        auto& buf = byOwner[ownerOfRow(ij.first)];
+        buf.push_back(static_cast<Real>(ij.first));
+        buf.push_back(static_cast<Real>(ij.second));
+        buf.insert(buf.end(), blk.begin(), blk.end());
+      }
+      stash_[r].clear();
+      for (auto& [dst, buf] : byOwner)
+        sends[r].emplace_back(dst, std::move(buf));
+    }
+    auto recv = comm.sparseExchange(sends);
+    for (int r = 0; r < p; ++r) {
+      for (const auto& [src, buf] : recv[r]) {
+        (void)src;
+        const std::size_t stride = 2 + bs_ * bs_;
+        for (std::size_t i = 0; i < buf.size(); i += stride) {
+          const GlobalIdx bi = static_cast<GlobalIdx>(buf[i]);
+          const GlobalIdx bj = static_cast<GlobalIdx>(buf[i + 1]);
+          auto [it, inserted] = local_[r].try_emplace(
+              {bi, bj}, std::vector<Real>(bs_ * bs_, 0.0));
+          for (int k = 0; k < bs_ * bs_; ++k)
+            it->second[k] += buf[i + 2 + k];
+        }
+      }
+    }
+    // Freeze to BSR per rank + build the ghost-column fetch plan.
+    csr_.resize(p);
+    ghostCols_.resize(p);
+    for (int r = 0; r < p; ++r) {
+      auto& cs = csr_[r];
+      cs.rows.reserve(local_[r].size());
+      std::map<GlobalIdx, int> ghostIndex;
+      for (const auto& [ij, blk] : local_[r]) {
+        Entry en;
+        en.row = ij.first;
+        en.col = ij.second;
+        const int colOwner = ownerOfRow(ij.second);
+        if (colOwner == r) {
+          en.ghostSlot = -1;
+        } else {
+          auto [git, ins] =
+              ghostIndex.try_emplace(ij.second,
+                                     static_cast<int>(ghostIndex.size()));
+          en.ghostSlot = git->second;
+        }
+        en.vals = blk;
+        cs.rows.push_back(std::move(en));
+      }
+      ghostCols_[r].resize(ghostIndex.size());
+      for (const auto& [gid, slot] : ghostIndex) ghostCols_[r][slot] = gid;
+      local_[r].clear();
+      comm.chargeWork(r, 10.0 * cs.rows.size());
+    }
+    // Per-rank map globalId -> local node index (for vector conversion).
+    gid2local_.resize(p);
+    for (int r = 0; r < p; ++r) {
+      const RankMesh<DIM>& rm = mesh_->rank(r);
+      for (std::size_t li = 0; li < rm.nNodes(); ++li)
+        gid2local_[r][rm.nodeIds[li]] = static_cast<std::int32_t>(li);
+    }
+    assembled_ = true;
+  }
+
+  /// y = A x on mesh Fields (bs dofs per node). x must be ghost-consistent;
+  /// y ends consistent.
+  void multiply(const Field& x, Field& y) const {
+    PT_CHECK(assembled_);
+    sim::SimComm& comm = mesh_->comm();
+    const int p = comm.size();
+    // Fetch ghost-column x values from their owners.
+    sim::SparseSends<Real> req(p);
+    for (int r = 0; r < p; ++r) {
+      std::map<int, std::vector<Real>> byOwner;
+      for (GlobalIdx gid : ghostCols_[r])
+        byOwner[ownerOfRow(gid)].push_back(static_cast<Real>(gid));
+      for (auto& [dst, buf] : byOwner) req[r].emplace_back(dst, std::move(buf));
+    }
+    auto reqRecv = comm.sparseExchange(req);
+    sim::SparseSends<Real> rep(p);
+    for (int r = 0; r < p; ++r) {
+      for (const auto& [src, ids] : reqRecv[r]) {
+        std::vector<Real> vals;
+        vals.reserve(ids.size() * bs_);
+        for (Real gidR : ids) {
+          const GlobalIdx gid = static_cast<GlobalIdx>(gidR);
+          const auto it = gid2local_[r].find(gid);
+          PT_CHECK(it != gid2local_[r].end());
+          for (int d = 0; d < bs_; ++d)
+            vals.push_back(x[r][it->second * bs_ + d]);
+        }
+        rep[r].emplace_back(src, std::move(vals));
+      }
+    }
+    auto repRecv = comm.sparseExchange(rep);
+    // Reassemble ghost x values in ghostCols_ order.
+    std::vector<std::vector<Real>> ghostX(p);
+    for (int r = 0; r < p; ++r) {
+      ghostX[r].assign(ghostCols_[r].size() * bs_, 0.0);
+      // Requests were grouped by owner in ascending owner order; replies
+      // arrive sorted by source. Reconstruct the order deterministically.
+      std::map<int, std::vector<int>> slotsByOwner;
+      for (std::size_t s = 0; s < ghostCols_[r].size(); ++s)
+        slotsByOwner[ownerOfRow(ghostCols_[r][s])].push_back(
+            static_cast<int>(s));
+      for (const auto& [src, vals] : repRecv[r]) {
+        const auto& slots = slotsByOwner[src];
+        PT_CHECK(vals.size() == slots.size() * static_cast<std::size_t>(bs_));
+        for (std::size_t i = 0; i < slots.size(); ++i)
+          for (int d = 0; d < bs_; ++d)
+            ghostX[r][slots[i] * bs_ + d] = vals[i * bs_ + d];
+      }
+    }
+    // Local BSR apply into owned rows (then ghostRead for consistency).
+    y = mesh_->makeField(bs_);
+    for (int r = 0; r < p; ++r) {
+      for (const Entry& en : csr_[r].rows) {
+        const auto rowIt = gid2local_[r].find(en.row);
+        PT_CHECK(rowIt != gid2local_[r].end());
+        const Real* xb;
+        if (en.ghostSlot < 0) {
+          const auto colIt = gid2local_[r].find(en.col);
+          PT_CHECK(colIt != gid2local_[r].end());
+          xb = &x[r][colIt->second * bs_];
+        } else {
+          xb = &ghostX[r][en.ghostSlot * bs_];
+        }
+        Real* yb = &y[r][rowIt->second * bs_];
+        for (int d1 = 0; d1 < bs_; ++d1) {
+          Real acc = 0;
+          for (int d2 = 0; d2 < bs_; ++d2)
+            acc += en.vals[d1 * bs_ + d2] * xb[d2];
+          yb[d1] += acc;
+        }
+      }
+      comm.chargeWork(r, 2.0 * bs_ * bs_ * csr_[r].rows.size());
+    }
+    mesh_->ghostRead(y, bs_);
+  }
+
+  std::size_t globalNnzBlocks() const {
+    std::size_t n = 0;
+    for (const auto& cs : csr_) n += cs.rows.size();
+    return n;
+  }
+
+ private:
+  struct Entry {
+    GlobalIdx row, col;
+    int ghostSlot;  ///< -1 if the column is owned locally
+    std::vector<Real> vals;
+  };
+  struct RankCsr {
+    std::vector<Entry> rows;  ///< sorted by (row, col) via the map origin
+  };
+
+  const Mesh<DIM>* mesh_;
+  int bs_;
+  bool assembled_ = false;
+  std::vector<GlobalIdx> rowStart_;
+  /// COO accumulation: per rank, owned-row blocks and off-rank stash.
+  std::vector<std::map<std::pair<GlobalIdx, GlobalIdx>, std::vector<Real>>>
+      local_, stash_;
+  std::vector<RankCsr> csr_;
+  std::vector<std::vector<GlobalIdx>> ghostCols_;
+  std::vector<std::map<GlobalIdx, std::int32_t>> gid2local_;
+};
+
+}  // namespace pt::la

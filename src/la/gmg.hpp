@@ -1,0 +1,152 @@
+// Geometric multigrid preconditioner on octree hierarchies — the paper's
+// stated future work ("Scalable solvers, like Geometric multigrid (GMG),
+// promise to yield a better solve time but rely on optimized algorithms for
+// creating different mesh hierarchies and MATVEC operation ... we plan to
+// utilize GMG to improve the solve time, specifically for the variable
+// coefficient pressure Poisson problem").
+//
+// The hierarchy is built with the library's own machinery: each coarser
+// level is Algorithm-7 coarsening of the previous tree (one level,
+// consensus-free since every leaf votes), re-balanced; inter-level transfer
+// uses the multi-level inter-grid machinery (prolongation = coarse-to-fine
+// interpolation, restriction = injection with the 2^DIM weak-residual
+// scaling). The V-cycle uses damped-Jacobi smoothing and a CG coarse solve.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "amr/par_coarsen.hpp"
+#include "intergrid/transfer.hpp"
+#include "la/ksp.hpp"
+#include "la/space.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+
+namespace pt::la {
+
+/// Per-level operator + Jacobi diagonal, built by the caller's factory so
+/// variable coefficients (e.g. 1/rho(phi)) can be re-discretized per level.
+template <int DIM>
+struct GmgLevelOps {
+  LinOp<Field> op;
+  Field diag;  ///< one value per node (point diagonal)
+};
+
+template <int DIM>
+using GmgOpFactory =
+    std::function<GmgLevelOps<DIM>(const Mesh<DIM>&, int level)>;
+
+template <int DIM>
+class Gmg {
+ public:
+  struct Options {
+    int levels = 3;          ///< including the fine level
+    int preSmooth = 2;
+    int postSmooth = 2;
+    Real omega = 0.7;        ///< Jacobi damping
+    KspOptions coarseSolve{.rtol = 1e-8, .maxIterations = 200};
+    Level minLevel = 1;      ///< do not coarsen octants below this
+  };
+
+  /// Builds the mesh hierarchy under `fineTree` and discretizes each level
+  /// with `factory`. Level 0 is the finest.
+  Gmg(sim::SimComm& comm, const DistTree<DIM>& fineTree,
+      const GmgOpFactory<DIM>& factory, Options opt = {})
+      : comm_(&comm), opt_(opt) {
+    trees_.push_back(fineTree);
+    for (int l = 1; l < opt_.levels; ++l) {
+      const DistTree<DIM>& prev = trees_.back();
+      sim::PerRank<std::vector<Level>> accept(comm.size());
+      bool anyCoarsenable = false;
+      for (int r = 0; r < comm.size(); ++r) {
+        const auto& leaves = prev.localOf(r);
+        accept[r].resize(leaves.size());
+        for (std::size_t e = 0; e < leaves.size(); ++e) {
+          accept[r][e] = static_cast<Level>(
+              std::max<int>(opt_.minLevel, leaves[e].level - 1));
+          anyCoarsenable =
+              anyCoarsenable || accept[r][e] < leaves[e].level;
+        }
+      }
+      if (!anyCoarsenable) break;
+      DistTree<DIM> next(comm);
+      next.locals() = parCoarsen(comm, prev.locals(), accept);
+      balanceDistTree(next);
+      next.repartition();
+      if (next.globalCount() == prev.globalCount()) break;
+      trees_.push_back(std::move(next));
+    }
+    for (std::size_t l = 0; l < trees_.size(); ++l) {
+      meshes_.push_back(
+          std::make_unique<Mesh<DIM>>(Mesh<DIM>::build(comm, trees_[l])));
+      ops_.push_back(factory(*meshes_[l], static_cast<int>(l)));
+    }
+  }
+
+  int numLevels() const { return static_cast<int>(meshes_.size()); }
+  const Mesh<DIM>& meshAt(int l) const { return *meshes_[l]; }
+
+  /// One V-cycle as a linear operator z = M(r) on the fine level.
+  LinOp<Field> preconditioner() {
+    return [this](const Field& r, Field& z) {
+      z = meshes_[0]->makeField(1);
+      vcycle(0, r, z);
+    };
+  }
+
+ private:
+  void smooth(int l, const Field& b, Field& x, int sweeps) const {
+    const Mesh<DIM>& mesh = *meshes_[l];
+    Field Ax = mesh.makeField(1);
+    for (int s = 0; s < sweeps; ++s) {
+      ops_[l].op(x, Ax);
+      for (int rk = 0; rk < mesh.nRanks(); ++rk) {
+        const std::size_t nn = mesh.rank(rk).nNodes();
+        for (std::size_t i = 0; i < nn; ++i) {
+          const Real d = ops_[l].diag[rk][i];
+          if (std::abs(d) > 1e-300)
+            x[rk][i] += opt_.omega * (b[rk][i] - Ax[rk][i]) / d;
+        }
+        mesh.comm().chargeWork(rk, 3.0 * nn);
+      }
+    }
+  }
+
+  void vcycle(int l, const Field& b, Field& x) {
+    const int coarsest = numLevels() - 1;
+    if (l == coarsest) {
+      FieldSpace<DIM> S(*meshes_[l], 1);
+      cg(S, ops_[l].op, b, x, opt_.coarseSolve);
+      return;
+    }
+    smooth(l, b, x, opt_.preSmooth);
+    // Residual -> next coarser level (injection + weak-residual scaling).
+    const Mesh<DIM>& fine = *meshes_[l];
+    Field r = fine.makeField(1), Ax = fine.makeField(1);
+    ops_[l].op(x, Ax);
+    for (int rk = 0; rk < fine.nRanks(); ++rk)
+      for (std::size_t i = 0; i < r[rk].size(); ++i)
+        r[rk][i] = b[rk][i] - Ax[rk][i];
+    Field rc = intergrid::transferNodal(fine, r, *meshes_[l + 1], 1);
+    const Real scale = static_cast<Real>(1 << DIM);
+    for (int rk = 0; rk < meshes_[l + 1]->nRanks(); ++rk)
+      for (Real& v : rc[rk]) v *= scale;
+    Field ec = meshes_[l + 1]->makeField(1);
+    vcycle(l + 1, rc, ec);
+    // Prolongate the correction and post-smooth.
+    Field ef = intergrid::transferNodal(*meshes_[l + 1], ec, fine, 1);
+    for (int rk = 0; rk < fine.nRanks(); ++rk)
+      for (std::size_t i = 0; i < x[rk].size(); ++i) x[rk][i] += ef[rk][i];
+    smooth(l, b, x, opt_.postSmooth);
+  }
+
+  sim::SimComm* comm_;
+  Options opt_;
+  std::vector<DistTree<DIM>> trees_;
+  std::vector<std::unique_ptr<Mesh<DIM>>> meshes_;
+  std::vector<GmgLevelOps<DIM>> ops_;
+};
+
+}  // namespace pt::la

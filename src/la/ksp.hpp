@@ -1,0 +1,227 @@
+// Krylov subspace solvers (the KSP layer of the PETSc substitute):
+// preconditioned CG for SPD systems (PP-solve, VU-solve mass systems),
+// BiCGStab and restarted GMRES for the nonsymmetric linearized momentum and
+// Cahn-Hilliard systems. All solvers are written against the Space concept
+// (FieldSpace or any type providing zeros/dot/axpy/...), with the operator
+// and preconditioner supplied as callables — i.e. matrix-free friendly.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "la/space.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pt::la {
+
+struct KspResult {
+  int iterations = 0;
+  Real relResidual = 0;
+  bool converged = false;
+};
+
+struct KspOptions {
+  Real rtol = 1e-8;
+  Real atol = 1e-50;
+  int maxIterations = 500;
+  int gmresRestart = 30;
+};
+
+/// Preconditioned conjugate gradient. A must be SPD; M approximates A^-1.
+template <typename Space>
+KspResult cg(const Space& S, const LinOp<typename Space::V>& A,
+             const typename Space::V& b, typename Space::V& x,
+             const KspOptions& opt = {},
+             const LinOp<typename Space::V>* M = nullptr) {
+  using V = typename Space::V;
+  V r = S.zeros(), z = S.zeros(), p = S.zeros(), Ap = S.zeros();
+  A(x, Ap);
+  S.sub(b, Ap, r);
+  const Real bnorm = std::max(S.norm(b), Real(1e-300));
+  Real rnorm = S.norm(r);
+  KspResult res;
+  if (rnorm / bnorm < opt.rtol || rnorm < opt.atol) {
+    res.converged = true;
+    res.relResidual = rnorm / bnorm;
+    return res;
+  }
+  if (M) (*M)(r, z); else S.copy(r, z);
+  S.copy(z, p);
+  Real rz = S.dot(r, z);
+  for (int it = 1; it <= opt.maxIterations; ++it) {
+    A(p, Ap);
+    const Real pAp = S.dot(p, Ap);
+    PT_CHECK_MSG(pAp > 0 || rnorm < 1e-13,
+                 "CG: operator not positive definite");
+    const Real alpha = rz / pAp;
+    S.axpy(x, alpha, p);
+    S.axpy(r, -alpha, Ap);
+    rnorm = S.norm(r);
+    res.iterations = it;
+    res.relResidual = rnorm / bnorm;
+    if (res.relResidual < opt.rtol || rnorm < opt.atol) {
+      res.converged = true;
+      return res;
+    }
+    if (M) (*M)(r, z); else S.copy(r, z);
+    const Real rzNew = S.dot(r, z);
+    const Real beta = rzNew / rz;
+    rz = rzNew;
+    S.aypx(p, beta, z);  // p = z + beta p
+  }
+  return res;
+}
+
+/// BiCGStab for nonsymmetric systems, right-preconditioned.
+template <typename Space>
+KspResult bicgstab(const Space& S, const LinOp<typename Space::V>& A,
+                   const typename Space::V& b, typename Space::V& x,
+                   const KspOptions& opt = {},
+                   const LinOp<typename Space::V>* M = nullptr) {
+  using V = typename Space::V;
+  V r = S.zeros(), rhat = S.zeros(), p = S.zeros(), v = S.zeros();
+  V s = S.zeros(), t = S.zeros(), ph = S.zeros(), sh = S.zeros();
+  A(x, v);
+  S.sub(b, v, r);
+  S.copy(r, rhat);
+  const Real bnorm = std::max(S.norm(b), Real(1e-300));
+  Real rnorm = S.norm(r);
+  KspResult res;
+  res.relResidual = rnorm / bnorm;
+  if (res.relResidual < opt.rtol) {
+    res.converged = true;
+    return res;
+  }
+  Real rho = 1, alpha = 1, omega = 1;
+  S.setZero(v);
+  S.setZero(p);
+  for (int it = 1; it <= opt.maxIterations; ++it) {
+    const Real rhoNew = S.dot(rhat, r);
+    if (std::abs(rhoNew) < 1e-300) break;  // breakdown
+    const Real beta = (rhoNew / rho) * (alpha / omega);
+    rho = rhoNew;
+    // p = r + beta (p - omega v)
+    S.axpy(p, -omega, v);
+    S.aypx(p, beta, r);
+    if (M) (*M)(p, ph); else S.copy(p, ph);
+    A(ph, v);
+    alpha = rho / S.dot(rhat, v);
+    S.copy(r, s);
+    S.axpy(s, -alpha, v);
+    if (S.norm(s) / bnorm < opt.rtol) {
+      S.axpy(x, alpha, ph);
+      res.iterations = it;
+      res.relResidual = S.norm(s) / bnorm;
+      res.converged = true;
+      return res;
+    }
+    if (M) (*M)(s, sh); else S.copy(s, sh);
+    A(sh, t);
+    const Real tt = S.dot(t, t);
+    if (tt < 1e-300) break;
+    omega = S.dot(t, s) / tt;
+    S.axpy(x, alpha, ph);
+    S.axpy(x, omega, sh);
+    S.copy(s, r);
+    S.axpy(r, -omega, t);
+    rnorm = S.norm(r);
+    res.iterations = it;
+    res.relResidual = rnorm / bnorm;
+    if (res.relResidual < opt.rtol || rnorm < opt.atol) {
+      res.converged = true;
+      return res;
+    }
+    if (std::abs(omega) < 1e-300) break;
+  }
+  return res;
+}
+
+/// Restarted GMRES(m), right-preconditioned.
+template <typename Space>
+KspResult gmres(const Space& S, const LinOp<typename Space::V>& A,
+                const typename Space::V& b, typename Space::V& x,
+                const KspOptions& opt = {},
+                const LinOp<typename Space::V>* M = nullptr) {
+  using V = typename Space::V;
+  const int m = opt.gmresRestart;
+  std::vector<V> Q;
+  std::vector<std::vector<Real>> H(m + 1, std::vector<Real>(m, 0.0));
+  std::vector<Real> cs(m), sn(m), g(m + 1);
+  V r = S.zeros(), w = S.zeros(), z = S.zeros();
+  const Real bnorm = std::max(S.norm(b), Real(1e-300));
+  KspResult res;
+  int totalIts = 0;
+  while (totalIts < opt.maxIterations) {
+    A(x, w);
+    S.sub(b, w, r);
+    Real beta = S.norm(r);
+    res.relResidual = beta / bnorm;
+    if (res.relResidual < opt.rtol || beta < opt.atol) {
+      res.converged = true;
+      return res;
+    }
+    Q.assign(1, r);
+    S.scale(Q[0], 1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+    int k = 0;
+    for (; k < m && totalIts < opt.maxIterations; ++k, ++totalIts) {
+      if (M) (*M)(Q[k], z); else S.copy(Q[k], z);
+      A(z, w);
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        H[i][k] = S.dot(w, Q[i]);
+        S.axpy(w, -H[i][k], Q[i]);
+      }
+      H[k + 1][k] = S.norm(w);
+      if (H[k + 1][k] > 1e-300) {
+        Q.push_back(w);
+        S.scale(Q.back(), 1.0 / H[k + 1][k]);
+      } else {
+        Q.push_back(S.zeros());
+      }
+      // Apply existing Givens rotations, then generate a new one.
+      for (int i = 0; i < k; ++i) {
+        const Real t = cs[i] * H[i][k] + sn[i] * H[i + 1][k];
+        H[i + 1][k] = -sn[i] * H[i][k] + cs[i] * H[i + 1][k];
+        H[i][k] = t;
+      }
+      const Real denom = std::hypot(H[k][k], H[k + 1][k]);
+      cs[k] = H[k][k] / denom;
+      sn[k] = H[k + 1][k] / denom;
+      H[k][k] = denom;
+      H[k + 1][k] = 0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      res.iterations = totalIts + 1;
+      res.relResidual = std::abs(g[k + 1]) / bnorm;
+      if (res.relResidual < opt.rtol) {
+        ++k;
+        break;
+      }
+    }
+    // Back substitution: y = H^-1 g, then x += M (Q y).
+    std::vector<Real> y(k);
+    for (int i = k - 1; i >= 0; --i) {
+      Real s = g[i];
+      for (int j = i + 1; j < k; ++j) s -= H[i][j] * y[j];
+      y[i] = s / H[i][i];
+    }
+    S.setZero(w);
+    for (int i = 0; i < k; ++i) S.axpy(w, y[i], Q[i]);
+    if (M) {
+      (*M)(w, z);
+      S.axpy(x, 1.0, z);
+    } else {
+      S.axpy(x, 1.0, w);
+    }
+    if (res.relResidual < opt.rtol) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace pt::la

@@ -1,0 +1,111 @@
+// Preconditioners for the matrix-free solver path: point Jacobi and
+// node-block Jacobi, with diagonals assembled element-by-element through the
+// same gather/scatter machinery as the MATVEC (so hanging-node constraints
+// are treated consistently: D = diag(P^T A_e P) accumulated over elements).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fem/elem_ops.hpp"
+#include "fem/matvec.hpp"
+#include "la/seqmat.hpp"
+#include "la/space.hpp"
+#include "mesh/mesh.hpp"
+
+namespace pt::la {
+
+/// Elemental-matrix provider: fills the (kNodes*ndof)^2 row-major elemental
+/// matrix for one octant.
+template <int DIM>
+using ElemMatFn = std::function<void(const Octant<DIM>&, Real* /*A_e*/)>;
+
+/// Assembles the (block-)diagonal of the global operator defined by an
+/// elemental matrix callback: out[node] = bs x bs diagonal block per node.
+/// Returned per rank: nNodes * bs * bs values, ghost-consistent.
+template <int DIM>
+Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
+                             const ElemMatFn<DIM>& elemMat) {
+  constexpr int kC = kNumChildren<DIM>;
+  const int n = kC * ndof;
+  Field diag = mesh.makeField(ndof * ndof);
+  std::vector<Real> Ae(n * n);
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      std::fill(Ae.begin(), Ae.end(), 0.0);
+      elemMat(rm.elems[e], Ae.data());
+      // diag contribution of node v from corners c1, c2 sharing support v:
+      // sum over (c1,c2) pairs w1 * A_e[c1,c2] * w2.
+      for (int c1 = 0; c1 < kC; ++c1) {
+        const std::uint32_t lo1 = rm.cornerOffset[e * kC + c1];
+        const std::uint32_t hi1 = rm.cornerOffset[e * kC + c1 + 1];
+        for (int c2 = 0; c2 < kC; ++c2) {
+          const std::uint32_t lo2 = rm.cornerOffset[e * kC + c2];
+          const std::uint32_t hi2 = rm.cornerOffset[e * kC + c2 + 1];
+          for (std::uint32_t s1 = lo1; s1 < hi1; ++s1)
+            for (std::uint32_t s2 = lo2; s2 < hi2; ++s2) {
+              if (rm.supports[s1].node != rm.supports[s2].node) continue;
+              const Real w = rm.supports[s1].weight * rm.supports[s2].weight;
+              for (int d1 = 0; d1 < ndof; ++d1)
+                for (int d2 = 0; d2 < ndof; ++d2)
+                  diag[r][rm.supports[s1].node * ndof * ndof + d1 * ndof +
+                          d2] +=
+                      w * Ae[(c1 * ndof + d1) * n + (c2 * ndof + d2)];
+            }
+        }
+      }
+    }
+    mesh.comm().chargeWork(r, 4.0 * n * n * rm.nElems());
+  }
+  mesh.accumulate(diag, ndof * ndof);
+  return diag;
+}
+
+/// Point-Jacobi preconditioner: z = D^-1 r using only the (d,d) entries of
+/// the per-node blocks.
+template <int DIM>
+LinOp<Field> makeJacobi(const Mesh<DIM>& mesh, int ndof, Field diagBlocks) {
+  return [&mesh, ndof, diag = std::move(diagBlocks)](const Field& r,
+                                                     Field& z) {
+    for (int rank = 0; rank < mesh.nRanks(); ++rank) {
+      const std::size_t nn = mesh.rank(rank).nNodes();
+      z[rank].assign(nn * ndof, 0.0);
+      for (std::size_t i = 0; i < nn; ++i)
+        for (int d = 0; d < ndof; ++d) {
+          const Real dv = diag[rank][i * ndof * ndof + d * ndof + d];
+          z[rank][i * ndof + d] =
+              (std::abs(dv) > 1e-300) ? r[rank][i * ndof + d] / dv
+                                      : r[rank][i * ndof + d];
+        }
+      mesh.comm().chargeWork(rank, 2.0 * nn * ndof);
+    }
+  };
+}
+
+/// Node-block Jacobi: z_i = B_i^-1 r_i with B_i the per-node ndof x ndof
+/// diagonal block (the natural block preconditioner for BAIJ storage).
+template <int DIM>
+LinOp<Field> makeBlockJacobi(const Mesh<DIM>& mesh, int ndof,
+                             Field diagBlocks) {
+  return [&mesh, ndof, diag = std::move(diagBlocks)](const Field& r,
+                                                     Field& z) {
+    std::vector<Real> blk(ndof * ndof);
+    for (int rank = 0; rank < mesh.nRanks(); ++rank) {
+      const std::size_t nn = mesh.rank(rank).nNodes();
+      z[rank].assign(nn * ndof, 0.0);
+      for (std::size_t i = 0; i < nn; ++i) {
+        std::copy(diag[rank].begin() + i * ndof * ndof,
+                  diag[rank].begin() + (i + 1) * ndof * ndof, blk.begin());
+        for (int d = 0; d < ndof; ++d) {
+          z[rank][i * ndof + d] = r[rank][i * ndof + d];
+          if (std::abs(blk[d * ndof + d]) < 1e-300) blk[d * ndof + d] = 1.0;
+        }
+        denseSolve(ndof, blk, &z[rank][i * ndof]);
+      }
+      mesh.comm().chargeWork(rank, 2.0 * nn * ndof * ndof * ndof);
+    }
+  };
+}
+
+}  // namespace pt::la

@@ -1,0 +1,78 @@
+// Vector-space operations over distributed nodal Fields.
+//
+// Pointwise operations are applied to every local copy (owned and ghost), so
+// consistent fields stay consistent without communication; reductions count
+// each global node exactly once via the mesh ownership.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "mesh/mesh.hpp"
+
+namespace pt::la {
+
+template <int DIM>
+class FieldSpace {
+ public:
+  using V = Field;
+
+  FieldSpace(const Mesh<DIM>& mesh, int ndof) : mesh_(&mesh), ndof_(ndof) {}
+
+  const Mesh<DIM>& mesh() const { return *mesh_; }
+  int ndof() const { return ndof_; }
+
+  V zeros() const { return mesh_->makeField(ndof_); }
+
+  Real dot(const V& a, const V& b) const { return mesh_->dot(a, b, ndof_); }
+  Real norm(const V& a) const { return std::sqrt(dot(a, a)); }
+
+  void copy(const V& src, V& dst) const { dst = src; }
+
+  /// y += a * x
+  void axpy(V& y, Real a, const V& x) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r) {
+      for (std::size_t i = 0; i < y[r].size(); ++i) y[r][i] += a * x[r][i];
+      mesh_->comm().chargeWork(r, 2.0 * y[r].size());
+    }
+  }
+
+  /// y = a * y + x
+  void aypx(V& y, Real a, const V& x) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (std::size_t i = 0; i < y[r].size(); ++i)
+        y[r][i] = a * y[r][i] + x[r][i];
+  }
+
+  void scale(V& y, Real a) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (Real& v : y[r]) v *= a;
+  }
+
+  void setZero(V& y) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      std::fill(y[r].begin(), y[r].end(), 0.0);
+  }
+
+  /// y = x - z (pointwise)
+  void sub(const V& x, const V& z, V& y) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (std::size_t i = 0; i < y[r].size(); ++i) y[r][i] = x[r][i] - z[r][i];
+  }
+
+  /// Pointwise multiply: y[i] = d[i] * x[i] (e.g. Jacobi preconditioning).
+  void pointwiseMult(const V& d, const V& x, V& y) const {
+    for (int r = 0; r < mesh_->nRanks(); ++r)
+      for (std::size_t i = 0; i < y[r].size(); ++i) y[r][i] = d[r][i] * x[r][i];
+  }
+
+ private:
+  const Mesh<DIM>* mesh_;
+  int ndof_;
+};
+
+/// Linear operator and preconditioner signature: y = A(x).
+template <typename V>
+using LinOp = std::function<void(const V&, V&)>;
+
+}  // namespace pt::la

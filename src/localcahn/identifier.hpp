@@ -1,0 +1,279 @@
+// Local-Cahn identification on distributed octree meshes — the paper's core
+// contribution (Sec II-B3, Algorithms 1-4).
+//
+// All passes are MATVEC-shaped: a single loop over local elements with
+// gather (hanging interpolation), an element-local decision, and an
+// INSERT_VALUES scatter with ghost exchange — no neighbor lists required.
+// Level differences between octree leaves are compensated by per-element
+// counters: an element l levels coarser than the reference (finest) level
+// b_l only triggers erosion/dilation every (b_l - l)-th visit, so coarse
+// elements erode at the same *physical* rate as fine ones.
+//
+// Sign conventions (the published listings of Algorithms 3-4 carry a couple
+// of typographical sign flips; we implement the semantics the surrounding
+// text describes — see DESIGN.md):
+//   phi_BW = +1 : immersed phase, -1 : bulk (Eq 4)
+//   erosion sets interface-element nodes to -1 (shrinks the +1 region)
+//   dilation sets interface-element nodes to +1 (grows the +1 region)
+//   identified element (Eq 6): all nodes +1 under T(phi) and all nodes -1
+//   after erosion + extra dilation -> the feature vanished -> reduce Cn.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "fem/matvec.hpp"
+#include "mesh/mesh.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pt::localcahn {
+
+/// Per-element scalar data (e.g. the elemental Cahn number).
+using ElemField = sim::PerRank<std::vector<Real>>;
+
+enum class Stage { kErosion, kDilation };
+
+struct IdentifyParams {
+  Real delta = -0.8;     ///< threshold; immersed phase is phi <= delta
+  bool immersedNegative = true;
+  int erodeSteps = 2;
+  int extraDilateSteps = 3;  ///< dilations beyond erosions (paper: 3-4)
+  /// Island removal / padding on the Cn field (Algorithm 4).
+  int cnErodeSteps = 1;
+  int cnExtraDilateSteps = 2;
+  Real cnCoarse = 0.02;  ///< Cn2: ambient Cahn number
+  Real cnFine = 0.01;    ///< Cn1 < Cn2: reduced Cahn in identified regions
+};
+
+/// Threshold(phi) -> phi_BW in {-1,+1} (Eq 4). Pointwise, stays consistent.
+template <int DIM>
+Field threshold(const Mesh<DIM>& mesh, const Field& phi, Real delta,
+                bool immersedNegative) {
+  Field bw = mesh.makeField(1);
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    for (std::size_t i = 0; i < phi[r].size(); ++i) {
+      const bool immersed =
+          immersedNegative ? phi[r][i] <= delta : phi[r][i] >= delta;
+      bw[r][i] = immersed ? 1.0 : -1.0;
+    }
+    mesh.comm().chargeWork(r, phi[r].size());
+  }
+  return bw;
+}
+
+/// True if the gathered elemental values straddle the interface: with
+/// hanging interpolation the values may be fractional, so Eq 5's
+/// |sum| != nodes test carries a tolerance.
+template <int DIM>
+bool elementHasInterface(const Real* vals) {
+  constexpr int kC = kNumChildren<DIM>;
+  Real sum = 0;
+  for (int c = 0; c < kC; ++c) sum += vals[c];
+  return std::abs(std::abs(sum) - kC) > 1e-9;
+}
+
+/// Algorithm 2: ERODEDILATE. Runs `numSteps` erosion or dilation passes over
+/// the nodal vector, with level-aware counters relative to the reference
+/// (finest) level `bl`. Returns the processed vector; `vec` is not modified.
+template <int DIM>
+Field erodeDilate(const Mesh<DIM>& mesh, const Field& vec, Stage stage,
+                  int numSteps, Level bl) {
+  constexpr int kC = kNumChildren<DIM>;
+  const int p = mesh.nRanks();
+  const Real val = (stage == Stage::kErosion) ? -1.0 : +1.0;
+  Field cur = vec;
+  // Counters persist across the steps of one call (an element (bl - l)
+  // levels coarse triggers only every (bl - l)-th visited step).
+  sim::PerRank<std::vector<int>> counter(p);
+  for (int r = 0; r < p; ++r) counter[r].assign(mesh.rank(r).nElems(), 0);
+
+  std::vector<Real> uLoc(kC), wLoc(kC);
+  for (int step = 0; step < numSteps; ++step) {
+    Field next = cur;  // vec_temp <- vec_ghosted
+    sim::PerRank<std::vector<char>> written(p);
+    for (int r = 0; r < p; ++r) {
+      const RankMesh<DIM>& rm = mesh.rank(r);
+      written[r].assign(rm.nNodes(), 0);
+      for (std::size_t e = 0; e < rm.nElems(); ++e) {
+        fem::gatherElem(rm, e, cur[r], 1, uLoc.data());
+        if (!elementHasInterface<DIM>(uLoc.data())) continue;
+        const int wait = bl - rm.elems[e].level;
+        if (counter[r][e] == wait) {
+          std::fill(wLoc.begin(), wLoc.end(), val);
+          fem::scatterInsertElem(rm, e, wLoc.data(), 1, next[r], written[r]);
+          counter[r][e] = 0;
+        } else {
+          ++counter[r][e];
+        }
+      }
+      mesh.comm().chargeWork(r, fem::matvecWorkPerElem<DIM>(1) * rm.nElems());
+    }
+    mesh.insertConsistent(next, written, 1);  // GhostWrite(INSERT) + read
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+/// Algorithm 3: ELEMENTALCAHN — Eq 6 element marking. Identified elements
+/// (fully immersed under T(phi), fully lost after erode+dilate) get cnFine.
+template <int DIM>
+ElemField elementalCahn(const Mesh<DIM>& mesh, const Field& bwOriginal,
+                        const Field& bwProcessed, Real cnFine, Real cnCoarse) {
+  constexpr int kC = kNumChildren<DIM>;
+  const int p = mesh.nRanks();
+  ElemField cn(p);
+  std::vector<Real> o(kC), d(kC);
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    cn[r].assign(rm.nElems(), cnCoarse);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      fem::gatherElem(rm, e, bwOriginal[r], 1, o.data());
+      fem::gatherElem(rm, e, bwProcessed[r], 1, d.data());
+      Real so = 0, sd = 0;
+      for (int c = 0; c < kC; ++c) {
+        so += o[c];
+        sd += d[c];
+      }
+      if (std::abs(so - kC) < 1e-9 && std::abs(sd + kC) < 1e-9)
+        cn[r][e] = cnFine;
+    }
+    mesh.comm().chargeWork(r, 6.0 * kC * rm.nElems());
+  }
+  return cn;
+}
+
+/// Algorithm 4: ERODEDILATECAHN — removes sub-threshold islands of reduced
+/// Cn and pads the surviving regions, by lifting the elemental marker to a
+/// nodal +/-1 vector (+1 = reduced-Cn region) and reusing Algorithm 2.
+template <int DIM>
+ElemField erodeDilateCahn(const Mesh<DIM>& mesh, const ElemField& cn, Level bl,
+                          Real cnFine, Real cnCoarse, int erodeSteps,
+                          int extraDilateSteps) {
+  constexpr int kC = kNumChildren<DIM>;
+  const int p = mesh.nRanks();
+  // Elemental -> nodal marker.
+  Field marker = mesh.makeField(1);
+  sim::PerRank<std::vector<char>> written(p);
+  std::vector<Real> wLoc(kC, 1.0);
+  for (int r = 0; r < p; ++r) {
+    std::fill(marker[r].begin(), marker[r].end(), -1.0);
+    written[r].assign(mesh.rank(r).nNodes(), 0);
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (std::size_t e = 0; e < rm.nElems(); ++e)
+      if (cn[r][e] == cnFine)
+        fem::scatterInsertElem(rm, e, wLoc.data(), 1, marker[r], written[r]);
+    mesh.comm().chargeWork(r, 4.0 * kC * rm.nElems());
+  }
+  mesh.insertConsistent(marker, written, 1);
+
+  marker = erodeDilate(mesh, marker, Stage::kErosion, erodeSteps, bl);
+  marker =
+      erodeDilate(mesh, marker, Stage::kDilation, erodeSteps + extraDilateSteps,
+                  bl);
+
+  // Nodal -> elemental: any +1 node keeps / pads the reduced Cn.
+  ElemField out(p);
+  std::vector<Real> m(kC);
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    out[r].assign(rm.nElems(), cnCoarse);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      fem::gatherElem(rm, e, marker[r], 1, m.data());
+      for (int c = 0; c < kC; ++c)
+        if (m[c] > 0) {
+          out[r][e] = cnFine;
+          break;
+        }
+    }
+    mesh.comm().chargeWork(r, 3.0 * kC * rm.nElems());
+  }
+  return out;
+}
+
+/// Algorithm 1: LOCALCAHNIDENTIFIER — the full pipeline.
+template <int DIM>
+ElemField identifyLocalCahn(const Mesh<DIM>& mesh, const Field& phi, Level bl,
+                            const IdentifyParams& p = {}) {
+  Field bw = threshold(mesh, phi, p.delta, p.immersedNegative);
+  Field eroded = erodeDilate(mesh, bw, Stage::kErosion, p.erodeSteps, bl);
+  Field dilated = erodeDilate(mesh, eroded, Stage::kDilation,
+                              p.erodeSteps + p.extraDilateSteps, bl);
+  ElemField cn = elementalCahn(mesh, bw, dilated, p.cnFine, p.cnCoarse);
+  return erodeDilateCahn(mesh, cn, bl, p.cnFine, p.cnCoarse, p.cnErodeSteps,
+                         p.cnExtraDilateSteps);
+}
+
+/// Multi-level extension (paper Sec II-B3 closing remark): each stage k has
+/// its own erosion/dilation depths and Cn value; deeper stages identify
+/// thinner features. Returns per-element stage index: 0 = ambient, k >= 1 =
+/// identified at stage k (the deepest matching stage wins).
+template <int DIM>
+struct CnStage {
+  IdentifyParams params;
+  Real cn;  ///< Cahn number assigned to this stage
+};
+
+template <int DIM>
+sim::PerRank<std::vector<int>> identifyMultiLevelCahn(
+    const Mesh<DIM>& mesh, const Field& phi, Level bl,
+    const std::vector<CnStage<DIM>>& stages) {
+  const int p = mesh.nRanks();
+  sim::PerRank<std::vector<int>> out(p);
+  for (int r = 0; r < p; ++r) out[r].assign(mesh.rank(r).nElems(), 0);
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    ElemField cn = identifyLocalCahn(mesh, phi, bl, stages[s].params);
+    for (int r = 0; r < p; ++r)
+      for (std::size_t e = 0; e < cn[r].size(); ++e)
+        if (cn[r][e] == stages[s].params.cnFine)
+          out[r][e] = static_cast<int>(s + 1);
+  }
+  return out;
+}
+
+/// Maps a stage index field to elemental Cn values.
+template <int DIM>
+ElemField cnFromStages(const Mesh<DIM>& mesh,
+                       const sim::PerRank<std::vector<int>>& stageIdx,
+                       Real ambientCn, const std::vector<CnStage<DIM>>& stages) {
+  const int p = mesh.nRanks();
+  ElemField cn(p);
+  for (int r = 0; r < p; ++r) {
+    cn[r].assign(stageIdx[r].size(), ambientCn);
+    for (std::size_t e = 0; e < stageIdx[r].size(); ++e)
+      if (stageIdx[r][e] > 0) cn[r][e] = stages[stageIdx[r][e] - 1].cn;
+  }
+  return cn;
+}
+
+/// Desired refinement levels for remeshing (paper: "refine the interface
+/// region (|phi| < delta*) with the appropriate resolution", and only near
+/// the interface even inside reduced-Cn regions). Elements away from the
+/// interface may coarsen down to `coarseLevel`.
+template <int DIM>
+sim::PerRank<std::vector<Level>> interfaceRefineLevels(
+    const Mesh<DIM>& mesh, const Field& phi, const ElemField& cn, Real cnFine,
+    Real deltaStar, Level coarseLevel, Level interfaceLevel,
+    Level featureLevel) {
+  constexpr int kC = kNumChildren<DIM>;
+  const int p = mesh.nRanks();
+  sim::PerRank<std::vector<Level>> want(p);
+  std::vector<Real> u(kC);
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    want[r].assign(rm.nElems(), coarseLevel);
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      fem::gatherElem(rm, e, phi[r], 1, u.data());
+      bool nearInterface = false;
+      for (int c = 0; c < kC; ++c)
+        nearInterface = nearInterface || std::abs(u[c]) < deltaStar;
+      if (nearInterface)
+        want[r][e] = (cn[r][e] == cnFine) ? featureLevel : interfaceLevel;
+    }
+    mesh.comm().chargeWork(r, 4.0 * kC * rm.nElems());
+  }
+  return want;
+}
+
+}  // namespace pt::localcahn

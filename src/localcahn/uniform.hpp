@@ -1,0 +1,124 @@
+// Uniform-mesh reference implementation of the region-of-interest
+// identification (paper Sec II-B1, Fig 1): classic binary image morphology.
+//
+//   T(phi): threshold the continuous phase field to 0/1
+//   E(phi): erosion  — a pixel survives only if its whole neighborhood is 1
+//   D(phi): dilation — a pixel becomes 1 if any neighbor is 1
+//   S(phi): subtraction — pixels 1 in T(phi) and 0 after E..E D..D
+//
+// Features whose radius is below the erosion depth vanish under erosion and
+// cannot be regrown by dilation; the subtraction marks exactly those.
+// The octree algorithm (identifier.hpp) is validated against this version.
+#pragma once
+
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pt::localcahn {
+
+/// A dense 2D binary image (row-major, width x height).
+struct BinaryImage {
+  int w = 0, h = 0;
+  std::vector<char> px;
+
+  BinaryImage() = default;
+  BinaryImage(int width, int height) : w(width), h(height), px(width * height, 0) {}
+
+  char& at(int x, int y) { return px[y * w + x]; }
+  char at(int x, int y) const { return px[y * w + x]; }
+
+  long count() const {
+    long n = 0;
+    for (char c : px) n += (c != 0);
+    return n;
+  }
+};
+
+/// T(phi): binarize a continuous field. With immersedNegative=false the
+/// immersed phase is phi >= delta; otherwise phi <= delta (the paper uses
+/// delta = +/-0.8 depending on the sign convention of the immersed phase).
+inline BinaryImage threshold(const std::vector<Real>& phi, int w, int h,
+                             Real delta, bool immersedNegative = false) {
+  PT_CHECK(static_cast<int>(phi.size()) == w * h);
+  BinaryImage img(w, h);
+  for (int i = 0; i < w * h; ++i)
+    img.px[i] = (immersedNegative ? phi[i] <= delta : phi[i] >= delta) ? 1 : 0;
+  return img;
+}
+
+/// E(phi): one erosion step with the 3x3 structuring element (out-of-domain
+/// treated as background, so the domain boundary erodes too).
+inline BinaryImage erode(const BinaryImage& in) {
+  BinaryImage out(in.w, in.h);
+  for (int y = 0; y < in.h; ++y)
+    for (int x = 0; x < in.w; ++x) {
+      char keep = in.at(x, y);
+      for (int dy = -1; dy <= 1 && keep; ++dy)
+        for (int dx = -1; dx <= 1 && keep; ++dx) {
+          const int nx = x + dx, ny = y + dy;
+          if (nx < 0 || ny < 0 || nx >= in.w || ny >= in.h)
+            keep = 0;
+          else if (!in.at(nx, ny))
+            keep = 0;
+        }
+      out.at(x, y) = keep;
+    }
+  return out;
+}
+
+/// D(phi): one dilation step with the 3x3 structuring element.
+inline BinaryImage dilate(const BinaryImage& in) {
+  BinaryImage out(in.w, in.h);
+  for (int y = 0; y < in.h; ++y)
+    for (int x = 0; x < in.w; ++x) {
+      char any = 0;
+      for (int dy = -1; dy <= 1 && !any; ++dy)
+        for (int dx = -1; dx <= 1 && !any; ++dx) {
+          const int nx = x + dx, ny = y + dy;
+          if (nx >= 0 && ny >= 0 && nx < in.w && ny < in.h && in.at(nx, ny))
+            any = 1;
+        }
+      out.at(x, y) = any;
+    }
+  return out;
+}
+
+inline BinaryImage erodeN(BinaryImage img, int n) {
+  for (int i = 0; i < n; ++i) img = erode(img);
+  return img;
+}
+inline BinaryImage dilateN(BinaryImage img, int n) {
+  for (int i = 0; i < n; ++i) img = dilate(img);
+  return img;
+}
+
+/// S(phi): the region of interest = pixels set in `original` but absent
+/// from `processed` (after erosion + extra dilation).
+inline BinaryImage subtract(const BinaryImage& original,
+                            const BinaryImage& processed) {
+  PT_CHECK(original.w == processed.w && original.h == processed.h);
+  BinaryImage out(original.w, original.h);
+  for (int i = 0; i < original.w * original.h; ++i)
+    out.px[i] = (original.px[i] && !processed.px[i]) ? 1 : 0;
+  return out;
+}
+
+/// The full uniform-mesh pipeline of Sec II-B1.
+struct UniformIdentifyParams {
+  Real delta = -0.8;          ///< threshold (immersed phase phi ~ -1 here)
+  bool immersedNegative = true;
+  int erodeSteps = 2;
+  int extraDilateSteps = 3;   ///< dilations beyond erosions (paper: 3-4)
+};
+
+inline BinaryImage identifyUniform(const std::vector<Real>& phi, int w, int h,
+                                   const UniformIdentifyParams& p = {}) {
+  BinaryImage bw = threshold(phi, w, h, p.delta, p.immersedNegative);
+  BinaryImage processed =
+      dilateN(erodeN(bw, p.erodeSteps), p.erodeSteps + p.extraDilateSteps);
+  return subtract(bw, processed);
+}
+
+}  // namespace pt::localcahn

@@ -1,0 +1,61 @@
+// Node keys: a CG node is identified by the integer coordinates of its
+// vertex on the virtual finest grid (values in [0, kMaxCoord] inclusive —
+// the upper domain face is a valid vertex plane). The paper's phrase for
+// this is that nodal values are "tagged by their unique location code key".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+#include "octree/octant.hpp"
+#include "support/types.hpp"
+#include "support/vecn.hpp"
+
+namespace pt {
+
+template <int DIM>
+using NodeKey = std::array<std::uint32_t, DIM>;
+
+/// Lexicographic total order on keys — any total order works for the
+/// distributed dedup/numbering sort.
+template <int DIM>
+struct NodeKeyLess {
+  bool operator()(const NodeKey<DIM>& a, const NodeKey<DIM>& b) const {
+    for (int d = DIM - 1; d > 0; --d) {
+      if (a[d] != b[d]) return a[d] < b[d];
+    }
+    return a[0] < b[0];
+  }
+};
+
+/// Physical coordinates of a node in the unit cube. (Templated on the
+/// array extent so the dimension deduces from the key itself.)
+template <std::size_t D>
+VecN<static_cast<int>(D)> nodeCoords(const std::array<std::uint32_t, D>& k) {
+  VecN<static_cast<int>(D)> c;
+  for (std::size_t d = 0; d < D; ++d)
+    c[static_cast<int>(d)] =
+        static_cast<Real>(k[d]) / static_cast<Real>(kMaxCoord);
+  return c;
+}
+
+/// Key of corner `corner` (Morton corner index) of octant `o`.
+template <int DIM>
+NodeKey<DIM> cornerKey(const Octant<DIM>& o, int corner) {
+  NodeKey<DIM> k;
+  for (int d = 0; d < DIM; ++d)
+    k[d] = o.x[d] + (((corner >> d) & 1) ? o.size() : 0u);
+  return k;
+}
+
+/// True if `v` coincides with one of the 2^DIM corners of `o`.
+template <int DIM>
+bool isCornerOf(const std::type_identity_t<NodeKey<DIM>>& v,
+                const Octant<DIM>& o) {
+  for (int d = 0; d < DIM; ++d)
+    if (v[d] != o.x[d] && v[d] != o.x[d] + o.size()) return false;
+  return true;
+}
+
+}  // namespace pt

@@ -1,0 +1,184 @@
+// 2:1 balancing of linearized octrees, serial and distributed.
+//
+// A leaf set is 2:1 balanced when no leaf neighbors (across faces, edges or
+// corners) a leaf more than one level coarser. We restore the condition by
+// ripple refinement: repeatedly locate each leaf's same-level neighbors and
+// request refinement of any containing leaf that is too coarse, applying the
+// requests with the multi-level REFINE (Algorithm 5) until a fixed point.
+// In the distributed setting, queries whose anchor falls outside the local
+// partition are routed to the owner rank with the NBX sparse exchange — the
+// one-directional query pattern means no replies are needed: the owner of
+// the too-coarse leaf refines it locally.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "amr/refine.hpp"
+#include "octree/distributed.hpp"
+#include "octree/octant.hpp"
+#include "octree/tree.hpp"
+#include "sim/comm.hpp"
+
+namespace pt {
+
+/// True if `leaves` (linearized) satisfies the 2:1 condition.
+template <int DIM>
+bool isBalanced(const OctList<DIM>& leaves) {
+  OctList<DIM> nbrs;
+  for (const auto& leaf : leaves) {
+    if (leaf.level <= 1) continue;
+    nbrs.clear();
+    appendNeighbors(leaf, nbrs);
+    for (const auto& n : nbrs) {
+      const std::int64_t idx = locatePoint(leaves, n.x);
+      if (idx < 0) continue;  // void region
+      if (leaves[idx].level + 1 < leaf.level) return false;
+    }
+  }
+  return true;
+}
+
+/// Serial 2:1 balance. Keeps the input's void structure: only existing
+/// leaves are subdivided; an optional keep predicate discards children that
+/// fall entirely outside an incomplete domain.
+template <int DIM>
+OctList<DIM> balanceTree(
+    OctList<DIM> leaves,
+    const std::function<bool(const Octant<DIM>&)>& keep = nullptr) {
+  PT_CHECK(isLinear(leaves));
+  OctList<DIM> nbrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Level> want(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) want[i] = leaves[i].level;
+    for (const auto& leaf : leaves) {
+      if (leaf.level <= 1) continue;
+      nbrs.clear();
+      appendNeighbors(leaf, nbrs);
+      const Level need = static_cast<Level>(leaf.level - 1);
+      for (const auto& n : nbrs) {
+        const std::int64_t idx = locatePoint(leaves, n.x);
+        if (idx < 0) continue;
+        if (want[idx] < need) {
+          want[idx] = need;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+    leaves = refine(leaves, want);
+    if (keep) discardVoid<DIM>(leaves, keep);
+  }
+  return leaves;
+}
+
+namespace detail {
+
+template <int DIM>
+struct BalanceQuery {
+  std::array<std::uint32_t, DIM> point;
+  Level required;
+};
+
+template <int DIM>
+std::vector<std::uint32_t> packQueries(
+    const std::vector<BalanceQuery<DIM>>& qs) {
+  std::vector<std::uint32_t> buf;
+  buf.reserve(qs.size() * (DIM + 1));
+  for (const auto& q : qs) {
+    for (int d = 0; d < DIM; ++d) buf.push_back(q.point[d]);
+    buf.push_back(q.required);
+  }
+  return buf;
+}
+
+template <int DIM>
+std::vector<BalanceQuery<DIM>> unpackQueries(
+    const std::vector<std::uint32_t>& buf) {
+  std::vector<BalanceQuery<DIM>> qs(buf.size() / (DIM + 1));
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    for (int d = 0; d < DIM; ++d) qs[i].point[d] = buf[i * (DIM + 1) + d];
+    qs[i].required = static_cast<Level>(buf[i * (DIM + 1) + DIM]);
+  }
+  return qs;
+}
+
+}  // namespace detail
+
+/// Distributed 2:1 balance over a DistTree. Preserves global linearity and
+/// the partition boundaries (repartition separately if load balance is
+/// needed — the paper treats load balancing as a separate step).
+template <int DIM>
+void balanceDistTree(
+    DistTree<DIM>& dt,
+    const std::function<bool(const Octant<DIM>&)>& keep = nullptr) {
+  sim::SimComm& comm = dt.comm();
+  const int p = comm.size();
+  bool globalChanged = true;
+  while (globalChanged) {
+    const Splitters<DIM> spl = dt.splitters();
+    // Per rank: desired levels for local leaves + outgoing remote queries.
+    sim::PerRank<std::vector<Level>> want(p);
+    sim::SparseSends<std::uint32_t> sends(p);
+    for (int r = 0; r < p; ++r) {
+      const OctList<DIM>& leaves = dt.localOf(r);
+      want[r].resize(leaves.size());
+      for (std::size_t i = 0; i < leaves.size(); ++i)
+        want[r][i] = leaves[i].level;
+      std::vector<std::vector<detail::BalanceQuery<DIM>>> outQ(p);
+      OctList<DIM> nbrs;
+      for (const auto& leaf : leaves) {
+        if (leaf.level <= 1) continue;
+        nbrs.clear();
+        appendNeighbors(leaf, nbrs);
+        const Level need = static_cast<Level>(leaf.level - 1);
+        for (const auto& n : nbrs) {
+          const int owner = spl.ownerOfPoint(n.x);
+          if (owner < 0) continue;
+          if (owner == r) {
+            const std::int64_t idx = locatePoint(leaves, n.x);
+            if (idx >= 0 && want[r][idx] < need) want[r][idx] = need;
+          } else {
+            outQ[owner].push_back({n.x, need});
+          }
+        }
+        comm.chargeWork(r, 30.0 * nbrs.size());
+      }
+      for (int dst = 0; dst < p; ++dst)
+        if (!outQ[dst].empty())
+          sends[r].emplace_back(dst, detail::packQueries<DIM>(outQ[dst]));
+    }
+    auto recv = comm.sparseExchange(sends, sim::SimComm::ExchangeAlgo::kNbx);
+    for (int r = 0; r < p; ++r) {
+      const OctList<DIM>& leaves = dt.localOf(r);
+      for (const auto& [src, buf] : recv[r]) {
+        (void)src;
+        for (const auto& q : detail::unpackQueries<DIM>(buf)) {
+          const std::int64_t idx = locatePoint(leaves, q.point);
+          if (idx >= 0 && want[r][idx] < q.required) want[r][idx] = q.required;
+        }
+      }
+    }
+    // Apply refinements and detect convergence.
+    sim::PerRank<int> changed(p, 0);
+    for (int r = 0; r < p; ++r) {
+      OctList<DIM>& leaves = dt.localOf(r);
+      bool any = false;
+      for (std::size_t i = 0; i < leaves.size(); ++i)
+        any = any || (want[r][i] > leaves[i].level);
+      if (any) {
+        leaves = refine(leaves, want[r]);
+        if (keep) discardVoid<DIM>(leaves, keep);
+        changed[r] = 1;
+      }
+      comm.chargeWork(r, 10.0 * leaves.size());
+    }
+    globalChanged = comm.allreduceMax(changed) != 0;
+  }
+}
+
+}  // namespace pt

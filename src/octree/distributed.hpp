@@ -1,0 +1,163 @@
+// DistTree: a linearized octree partitioned across simulated ranks.
+//
+// Invariants: each rank's list is sorted and ancestor-free, and the
+// concatenation over ranks in rank order is globally sorted and
+// ancestor-free. A splitter table (first octant of each nonempty rank) is
+// derived on demand and drives all owner queries, exactly as in the paper's
+// meshing substrate.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "amr/refine.hpp"
+#include "octree/octant.hpp"
+#include "octree/tree.hpp"
+#include "sim/comm.hpp"
+#include "sim/sort.hpp"
+#include "support/check.hpp"
+
+namespace pt {
+
+/// Splitter table: for every rank, its first local octant; empty ranks
+/// inherit the next nonempty rank's first (so ownership search still works).
+template <int DIM>
+struct Splitters {
+  std::vector<Octant<DIM>> first;  ///< size = nranks
+  std::vector<char> hasData;       ///< size = nranks
+
+  /// Owner of an SFC position: the last rank whose first octant does not
+  /// sort after `probe`. Returns -1 when probe precedes all data.
+  int ownerOf(const Octant<DIM>& probe) const {
+    int owner = -1;
+    for (std::size_t r = 0; r < first.size(); ++r) {
+      if (!hasData[r]) continue;
+      if (!sfcLess(probe, first[r]))  // first[r] <= probe
+        owner = static_cast<int>(r);
+      else
+        break;
+    }
+    return owner;
+  }
+
+  /// Owner of the leaf containing an integer point.
+  int ownerOfPoint(const std::array<std::uint32_t, DIM>& p) const {
+    return ownerOf(Octant<DIM>(p, kMaxLevel));
+  }
+};
+
+template <int DIM>
+class DistTree {
+ public:
+  DistTree(sim::SimComm& comm) : comm_(&comm), local_(comm.size()) {}
+
+  /// Block-distributes a globally linearized octree across ranks.
+  static DistTree fromGlobal(sim::SimComm& comm, const OctList<DIM>& global) {
+    PT_CHECK(isLinear(global));
+    DistTree dt(comm);
+    const int p = comm.size();
+    const std::size_t n = global.size();
+    for (int r = 0; r < p; ++r) {
+      const std::size_t lo = (n * r) / p, hi = (n * (r + 1)) / p;
+      dt.local_[r].assign(global.begin() + lo, global.begin() + hi);
+    }
+    return dt;
+  }
+
+  sim::SimComm& comm() const { return *comm_; }
+  int nRanks() const { return comm_->size(); }
+  OctList<DIM>& localOf(int r) { return local_[r]; }
+  const OctList<DIM>& localOf(int r) const { return local_[r]; }
+  sim::PerRank<OctList<DIM>>& locals() { return local_; }
+  const sim::PerRank<OctList<DIM>>& locals() const { return local_; }
+
+  std::size_t globalCount() const {
+    std::size_t n = 0;
+    for (const auto& l : local_) n += l.size();
+    return n;
+  }
+
+  /// Concatenates all ranks (for tests and serial fallbacks).
+  OctList<DIM> gather() const {
+    OctList<DIM> out;
+    out.reserve(globalCount());
+    for (const auto& l : local_)
+      out.insert(out.end(), l.begin(), l.end());
+    return out;
+  }
+
+  /// Builds the splitter table (one allgather of the per-rank firsts).
+  Splitters<DIM> splitters() const {
+    const int p = nRanks();
+    Splitters<DIM> s;
+    s.first.resize(p);
+    s.hasData.resize(p);
+    for (int r = 0; r < p; ++r) {
+      s.hasData[r] = !local_[r].empty();
+      if (s.hasData[r]) s.first[r] = local_[r].front();
+    }
+    // Charged as an allgather of one octant per rank.
+    comm_->allgather(sim::PerRank<Octant<DIM>>(p));
+    return s;
+  }
+
+  /// True if the global concatenation is sorted and ancestor-free.
+  bool globallyLinear() const { return isLinear(gather()); }
+
+  /// Load-balances leaves equally across ranks (optionally by weight),
+  /// preserving global order.
+  void repartition(const std::function<double(const Octant<DIM>&)>& weight =
+                       nullptr) {
+    if (weight)
+      sim::rebalanceByWeight(*comm_, local_, weight);
+    else
+      sim::rebalanceEqual(*comm_, local_);
+  }
+
+  /// Globally sorts + linearizes arbitrary per-rank octant sets into this
+  /// tree (distributed construction path).
+  static DistTree fromUnsorted(sim::SimComm& comm,
+                               sim::PerRank<OctList<DIM>> parts,
+                               sim::SortAlgo algo = sim::SortAlgo::kKway) {
+    DistTree dt(comm);
+    sim::distributedSort(comm, parts, SfcLess<DIM>{}, algo);
+    // Remove duplicates/ancestors within ranks, then fix rank boundaries:
+    // an octant at the end of rank r may be an ancestor of rank r+1's head.
+    const int p = comm.size();
+    for (int r = 0; r < p; ++r) linearizeSorted(parts[r]);
+    // Boundary fix: iterate while the tail of one rank overlaps the head of
+    // a later nonempty rank.
+    for (int r = 0; r < p; ++r) {
+      if (parts[r].empty()) continue;
+      // Find next nonempty rank's head.
+      for (int q = r + 1; q < p; ++q) {
+        if (parts[q].empty()) continue;
+        while (!parts[r].empty() &&
+               parts[r].back().isAncestorOf(parts[q].front()))
+          parts[r].pop_back();
+        break;
+      }
+    }
+    comm.barrier(comm.machine().alpha * 2);  // boundary head exchange
+    dt.local_ = std::move(parts);
+    return dt;
+  }
+
+ private:
+  /// linearize() for an already-sorted list.
+  static void linearizeSorted(OctList<DIM>& octs) {
+    OctList<DIM> out;
+    out.reserve(octs.size());
+    for (const auto& o : octs) {
+      while (!out.empty() && out.back().isAncestorOf(o)) out.pop_back();
+      if (out.empty() || !(out.back() == o)) out.push_back(o);
+    }
+    octs.swap(out);
+  }
+
+  sim::SimComm* comm_;
+  sim::PerRank<OctList<DIM>> local_;
+};
+
+}  // namespace pt

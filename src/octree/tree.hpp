@@ -1,0 +1,148 @@
+// Linearized octree utilities: sorting, linearization (removal of
+// duplicates/ancestors), construction from refinement criteria, point
+// location and neighbor generation.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "octree/octant.hpp"
+#include "support/check.hpp"
+
+namespace pt {
+
+/// A linearized octree is simply a sorted, ancestor-free vector of octants.
+template <int DIM>
+using OctList = std::vector<Octant<DIM>>;
+
+/// Sort octants in SFC preorder.
+template <int DIM>
+void sortOctants(OctList<DIM>& octs) {
+  std::sort(octs.begin(), octs.end(), SfcLess<DIM>{});
+}
+
+/// True if sorted, duplicate-free and ancestor-free.
+template <int DIM>
+bool isLinear(const OctList<DIM>& octs) {
+  for (std::size_t i = 1; i < octs.size(); ++i) {
+    if (!sfcLess(octs[i - 1], octs[i])) return false;
+    if (octs[i - 1].isAncestorOf(octs[i])) return false;
+  }
+  return true;
+}
+
+/// Sorts and removes duplicates and ancestors, keeping the finest octants.
+/// (In SFC preorder an ancestor immediately precedes its first descendant,
+/// so one backward sweep suffices.)
+template <int DIM>
+void linearize(OctList<DIM>& octs) {
+  sortOctants(octs);
+  OctList<DIM> out;
+  out.reserve(octs.size());
+  for (const auto& o : octs) {
+    while (!out.empty() && out.back().isAncestorOf(o)) out.pop_back();
+    if (out.empty() || !(out.back() == o)) out.push_back(o);
+  }
+  octs.swap(out);
+}
+
+/// Builds a complete linear octree over the subtree rooted at `root` by
+/// refining until `desiredLevel(oct) <= oct.level`. The callback may inspect
+/// the octant's geometry. A second callback `keep` supports incomplete
+/// octrees: subtrees for which keep() is false are discarded (void regions).
+template <int DIM>
+void buildTree(const Octant<DIM>& root,
+               const std::function<Level(const Octant<DIM>&)>& desiredLevel,
+               OctList<DIM>& out,
+               const std::function<bool(const Octant<DIM>&)>& keep =
+                   [](const Octant<DIM>&) { return true; }) {
+  if (!keep(root)) return;
+  if (root.level < desiredLevel(root) && root.level < kMaxLevel) {
+    for (int c = 0; c < kNumChildren<DIM>; ++c)
+      buildTree(root.child(c), desiredLevel, out, keep);
+  } else {
+    out.push_back(root);
+  }
+}
+
+/// Convenience: complete uniform tree at `level`.
+template <int DIM>
+OctList<DIM> uniformTree(Level level) {
+  OctList<DIM> out;
+  buildTree<DIM>(Octant<DIM>::root(),
+                 [level](const Octant<DIM>&) { return level; }, out);
+  return out;
+}
+
+/// Locates the leaf containing an integer point, by binary search on the
+/// linearized tree. Returns the index of the containing leaf or -1 if the
+/// point is in a void region / outside all leaves.
+template <int DIM>
+std::int64_t locatePoint(
+    const OctList<DIM>& leaves,
+    const std::type_identity_t<std::array<std::uint32_t, DIM>>& p) {
+  if (leaves.empty()) return -1;
+  // Treat p as a max-level octant; the containing leaf is the last leaf
+  // that does not sort after it.
+  Octant<DIM> probe(p, kMaxLevel);
+  for (int d = 0; d < DIM; ++d)
+    if (p[d] >= kMaxCoord) return -1;
+  auto it = std::upper_bound(leaves.begin(), leaves.end(), probe,
+                             SfcLess<DIM>{});
+  if (it == leaves.begin()) return -1;
+  --it;
+  if (it->isAncestorOf(probe)) return it - leaves.begin();
+  return -1;
+}
+
+/// All same-level neighbors of `o` (face, edge and corner), i.e. octants at
+/// o.level whose anchor differs by ±size in any nonempty subset of
+/// dimensions. Neighbors outside the unit cube are skipped.
+template <int DIM>
+void appendNeighbors(const Octant<DIM>& o, OctList<DIM>& out) {
+  const std::int64_t s = o.size();
+  std::array<int, DIM> off{};  // each in {-1,0,+1}
+  // Iterate over 3^DIM offsets, skipping the zero offset.
+  const int total = DIM == 2 ? 9 : 27;
+  for (int code = 0; code < total; ++code) {
+    int c = code;
+    bool zero = true, valid = true;
+    Octant<DIM> n = o;
+    for (int d = 0; d < DIM; ++d) {
+      off[d] = (c % 3) - 1;
+      c /= 3;
+      if (off[d] != 0) zero = false;
+      const std::int64_t nx = static_cast<std::int64_t>(o.x[d]) + off[d] * s;
+      if (nx < 0 || nx >= static_cast<std::int64_t>(kMaxCoord)) {
+        valid = false;
+        break;
+      }
+      n.x[d] = static_cast<std::uint32_t>(nx);
+    }
+    if (!zero && valid) out.push_back(n);
+  }
+}
+
+/// Total volume (in physical units of the unit cube) covered by the leaves.
+template <int DIM>
+Real coveredVolume(const OctList<DIM>& leaves) {
+  Real v = 0;
+  for (const auto& o : leaves) {
+    Real h = o.physSize();
+    Real cell = 1;
+    for (int d = 0; d < DIM; ++d) cell *= h;
+    v += cell;
+  }
+  return v;
+}
+
+/// Histogram of leaf counts per level (index = level).
+template <int DIM>
+std::vector<std::size_t> levelHistogram(const OctList<DIM>& leaves) {
+  std::vector<std::size_t> h(kMaxLevel + 1, 0);
+  for (const auto& o : leaves) ++h[o.level];
+  return h;
+}
+
+}  // namespace pt

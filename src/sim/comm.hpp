@@ -1,0 +1,333 @@
+// SimComm: a bulk-synchronous simulated communicator over P ranks.
+//
+// Every distributed algorithm in PhaseTree is written SPMD-style against
+// this interface: per-rank data lives in PerRank<> containers, collectives
+// and exchanges move real data between ranks, and each operation charges the
+// alpha-beta machine model so that the simulated clock reproduces the
+// communication behaviour the paper reports (tree collectives, staged k-way
+// exchanges, NBX sparse exchange vs dense Alltoall, memoized Comm_split).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pt::sim {
+
+/// One entry per simulated rank.
+template <typename T>
+using PerRank = std::vector<T>;
+
+/// Sparse message batch: per source rank, a list of (destination, payload).
+template <typename T>
+using SparseSends = PerRank<std::vector<std::pair<int, std::vector<T>>>>;
+
+/// Communication statistics accumulated across the run; the ablation
+/// benches report these alongside modeled time.
+struct CommStats {
+  long messages = 0;       ///< point-to-point messages
+  double bytes = 0;        ///< total payload bytes moved
+  long collectives = 0;    ///< collective invocations
+  long commSplits = 0;     ///< actual (non-memoized) communicator splits
+  long commSplitHits = 0;  ///< memoized splits served from the cache
+};
+
+/// The memoized k-way communicator hierarchy (Sec II-C3b). Stage s groups
+/// ranks into blocks of size groupSize[s]; the last stage has <= k ranks
+/// per group.
+struct KwayHierarchy {
+  int k = 0;
+  std::vector<long> groupSize;  ///< outermost first
+};
+
+class SimComm {
+ public:
+  SimComm(int nranks, Machine machine)
+      : p_(nranks), machine_(machine), clock_(nranks, 0.0) {
+    PT_CHECK(nranks >= 1);
+  }
+
+  int size() const { return p_; }
+  const Machine& machine() const { return machine_; }
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Simulated elapsed time = the slowest rank's clock.
+  double time() const {
+    double t = 0;
+    for (double c : clock_) t = std::max(t, c);
+    return t;
+  }
+  double clockOf(int r) const { return clock_[r]; }
+  void resetClocks() { std::fill(clock_.begin(), clock_.end(), 0.0); }
+
+  /// Charge local computation time on one rank.
+  void charge(int r, double seconds) { clock_[r] += seconds; }
+  /// Charge `units` work-units at the machine's compute rate.
+  void chargeWork(int r, double units) {
+    clock_[r] += units / machine_.computeRate;
+  }
+
+  /// Synchronize all ranks at the max clock (barrier), charging `extra`
+  /// seconds to everyone afterwards.
+  void barrier(double extra = 0.0) {
+    const double t = time() + extra;
+    std::fill(clock_.begin(), clock_.end(), t);
+  }
+
+  // ---- Collectives (tree-based cost: O(log p)) --------------------------
+
+  /// Allreduce of one value per rank; returns the combined value (delivered
+  /// to every rank). Cost: 2 log2(p) (alpha + bytes*beta).
+  template <typename T, typename Op>
+  T allreduce(const PerRank<T>& vals, Op op) {
+    PT_CHECK(static_cast<int>(vals.size()) == p_);
+    T acc = vals[0];
+    for (int r = 1; r < p_; ++r) acc = op(acc, vals[r]);
+    chargeCollective(sizeof(T));
+    return acc;
+  }
+
+  template <typename T>
+  T allreduceSum(const PerRank<T>& vals) {
+    return allreduce(vals, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduceMax(const PerRank<T>& vals) {
+    return allreduce(vals, [](T a, T b) { return std::max(a, b); });
+  }
+
+  /// Exclusive prefix scan (MPI_Exscan); result[0] = T{}.
+  template <typename T>
+  PerRank<T> exscan(const PerRank<T>& vals) {
+    PT_CHECK(static_cast<int>(vals.size()) == p_);
+    PerRank<T> out(p_, T{});
+    T acc{};
+    for (int r = 0; r < p_; ++r) {
+      out[r] = acc;
+      acc = acc + vals[r];
+    }
+    chargeCollective(sizeof(T));
+    return out;
+  }
+
+  /// Broadcast from root. Cost: log2(p) messages of the payload size.
+  template <typename T>
+  PerRank<T> bcast(const T& val, int /*root*/ = 0) {
+    chargeCollective(sizeof(T));
+    return PerRank<T>(p_, val);
+  }
+
+  /// Allgather of one item per rank. NOTE: O(p) result per rank — the
+  /// storage/communication cost the paper's k-way scheme avoids; cost is
+  /// charged accordingly (p * bytes at the bandwidth term).
+  template <typename T>
+  std::vector<T> allgather(const PerRank<T>& vals) {
+    PT_CHECK(static_cast<int>(vals.size()) == p_);
+    const double bytes = sizeof(T) * static_cast<double>(p_);
+    const double t =
+        time() + machine_.alpha * ceilLog2(p_) + machine_.beta * bytes;
+    setAll(t);
+    ++stats_.collectives;
+    stats_.bytes += bytes * p_;
+    return vals;
+  }
+
+  // ---- Point-to-point batch exchanges -----------------------------------
+
+  enum class ExchangeAlgo {
+    kDenseAlltoall,  ///< MPI_Alltoall to learn counts, then sends (old code)
+    kNbx             ///< Hoefler et al. NBX sparse exchange (new code)
+  };
+
+  /// Sparse personalized exchange: each rank sends byte payloads to a sparse
+  /// set of destinations. Returns, per destination rank, the list of
+  /// (source, payload) sorted by source. Data movement is identical for
+  /// both algorithms; only cost differs — that is precisely the paper's
+  /// Sec II-C3c finding.
+  template <typename T>
+  SparseSends<T> sparseExchange(const SparseSends<T>& sends,
+                                ExchangeAlgo algo = ExchangeAlgo::kNbx) {
+    PT_CHECK(static_cast<int>(sends.size()) == p_);
+    SparseSends<T> recv(p_);
+    PerRank<double> sendBytes(p_, 0), recvBytes(p_, 0);
+    PerRank<long> nDest(p_, 0);
+    for (int src = 0; src < p_; ++src) {
+      nDest[src] = static_cast<long>(sends[src].size());
+      for (const auto& [dst, payload] : sends[src]) {
+        PT_CHECK(dst >= 0 && dst < p_);
+        const double b = sizeof(T) * static_cast<double>(payload.size());
+        sendBytes[src] += b;
+        recvBytes[dst] += b;
+        recv[dst].emplace_back(src, payload);
+        ++stats_.messages;
+        stats_.bytes += b;
+      }
+    }
+    for (auto& lst : recv)
+      std::sort(lst.begin(), lst.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Cost model.
+    const double t0 = time();
+    double tmax = t0;
+    for (int r = 0; r < p_; ++r) {
+      double t = t0;
+      if (algo == ExchangeAlgo::kDenseAlltoall) {
+        // Populate an O(p) count array, then a dense collective that
+        // touches every rank's message slot (Omega(p) latency) and suffers
+        // congestion on the payload.
+        t += machine_.perRankSetup * p_;
+        t += machine_.alpha * (p_ / 8.0) * machine_.alltoallSaturation(p_) +
+             machine_.beta * sizeof(int) * p_ * machine_.alltoallCongestion;
+        t += machine_.alpha * nDest[r] +
+             machine_.beta * (sendBytes[r] + recvBytes[r]) *
+                 machine_.alltoallCongestion;
+      } else {
+        // NBX: nonblocking sends + Ibarrier; no Omega(p) primitive.
+        t += machine_.alpha * (nDest[r] + 2.0 * ceilLog2(p_)) +
+             machine_.beta * (sendBytes[r] + recvBytes[r]);
+      }
+      tmax = std::max(tmax, t);
+    }
+    setAll(tmax);  // both algorithms complete collectively
+    ++stats_.collectives;
+    return recv;
+  }
+
+  /// Charges the cost of a personalized all-to-all with the given per-rank
+  /// send/receive byte counts, without moving data (used by the sparse-send
+  /// data paths of the distributed sort, which would otherwise need a dense
+  /// p x p buffer matrix).
+  void chargeAlltoallv(const PerRank<double>& sendBytes,
+                       const PerRank<double>& recvBytes, bool staged,
+                       int k = 128) {
+    const double t0 = time();
+    double tmax = t0;
+    if (staged) {
+      const int stages = std::max(1, ceilLogK(p_, k));
+      for (int r = 0; r < p_; ++r) {
+        const double vol = sendBytes[r] + recvBytes[r];
+        tmax = std::max(tmax, t0 + stages * (machine_.alpha *
+                                                 std::min<long>(k, p_) +
+                                             machine_.beta * vol));
+      }
+    } else {
+      for (int r = 0; r < p_; ++r) {
+        tmax = std::max(
+            tmax, t0 + machine_.perRankSetup * p_ +
+                      machine_.alpha * p_ * machine_.alltoallSaturation(p_) +
+                      machine_.beta * (sendBytes[r] + recvBytes[r]) *
+                          machine_.alltoallCongestion);
+      }
+    }
+    setAll(tmax);
+    ++stats_.collectives;
+  }
+
+  /// Dense alltoallv: sendTo[src][dst] is the payload from src to dst
+  /// (empty vectors allowed). Returns recv[dst] = concatenation over src in
+  /// rank order. If `staged`, the exchange is routed through the k-way
+  /// hierarchy (log_k(p) stages), the paper's defense against congestion.
+  template <typename T>
+  PerRank<std::vector<T>> alltoallv(
+      const PerRank<std::vector<std::vector<T>>>& sendTo, bool staged,
+      int k = 128) {
+    PT_CHECK(static_cast<int>(sendTo.size()) == p_);
+    PerRank<std::vector<T>> recv(p_);
+    PerRank<double> sendBytes(p_, 0), recvBytes(p_, 0);
+    for (int src = 0; src < p_; ++src) {
+      PT_CHECK(static_cast<int>(sendTo[src].size()) == p_);
+      for (int dst = 0; dst < p_; ++dst) {
+        const auto& payload = sendTo[src][dst];
+        if (payload.empty() && src != dst) continue;
+        const double b = sizeof(T) * static_cast<double>(payload.size());
+        sendBytes[src] += b;
+        recvBytes[dst] += b;
+        if (!payload.empty()) {
+          stats_.messages += (src == dst) ? 0 : 1;
+          stats_.bytes += (src == dst) ? 0 : b;
+        }
+      }
+    }
+    for (int dst = 0; dst < p_; ++dst)
+      for (int src = 0; src < p_; ++src)
+        recv[dst].insert(recv[dst].end(), sendTo[src][dst].begin(),
+                         sendTo[src][dst].end());
+    const double t0 = time();
+    double tmax = t0;
+    if (staged) {
+      const int stages = std::max(1, ceilLogK(p_, k));
+      for (int r = 0; r < p_; ++r) {
+        // Each stage forwards the rank's whole in-flight volume to at most
+        // k partners.
+        const double vol = sendBytes[r] + recvBytes[r];
+        double t = t0 + stages * (machine_.alpha * std::min<long>(k, p_) +
+                                  machine_.beta * vol);
+        tmax = std::max(tmax, t);
+      }
+    } else {
+      for (int r = 0; r < p_; ++r) {
+        double t = t0 + machine_.perRankSetup * p_ + machine_.alpha * p_ +
+                   machine_.beta * (sendBytes[r] + recvBytes[r]) *
+                       machine_.alltoallCongestion;
+        tmax = std::max(tmax, t);
+      }
+    }
+    setAll(tmax);
+    ++stats_.collectives;
+    return recv;
+  }
+
+  // ---- Memoized communicator hierarchy (Sec II-C3b) ----------------------
+
+  /// Returns the k-way hierarchy for this communicator, splitting (and
+  /// charging the split cost) only on the first request per k. Subsequent
+  /// calls are served from the MPI-attribute-style cache.
+  const KwayHierarchy& kwayHierarchy(int k) {
+    auto it = cache_.find(k);
+    if (it != cache_.end()) {
+      ++stats_.commSplitHits;
+      return it->second;
+    }
+    KwayHierarchy h;
+    h.k = k;
+    long g = p_;
+    while (g > k) {
+      h.groupSize.push_back(g);
+      // MPI_Comm_split is a global operation with an O(p log p)-ish sort of
+      // (color,key) pairs under the hood; charge latency + linear term.
+      barrier(machine_.alpha * ceilLog2(p_) + machine_.perRankSetup * p_);
+      ++stats_.commSplits;
+      g = (g + k - 1) / k;
+    }
+    h.groupSize.push_back(g);
+    auto [pos, inserted] = cache_.emplace(k, std::move(h));
+    PT_CHECK(inserted);
+    return pos->second;
+  }
+
+ private:
+  void setAll(double t) { std::fill(clock_.begin(), clock_.end(), t); }
+
+  void chargeCollective(double bytes) {
+    const double t = time() + 2.0 * ceilLog2(p_) *
+                                  (machine_.alpha + machine_.beta * bytes);
+    setAll(t);
+    ++stats_.collectives;
+  }
+
+  int p_;
+  Machine machine_;
+  std::vector<double> clock_;
+  CommStats stats_;
+  std::map<int, KwayHierarchy> cache_;
+};
+
+}  // namespace pt::sim

@@ -1,0 +1,75 @@
+// Machine model for the simulated distributed runtime.
+//
+// The paper's scaling experiments ran on TACC Frontera (56 cores/node, HDR
+// InfiniBand). This environment has a single core and no MPI, so — per the
+// reproduction's substitution rule — every distributed algorithm executes
+// over *simulated* ranks with real per-rank data, and wall-clock is charged
+// through the classic alpha–beta (latency–bandwidth) model plus a calibrated
+// compute rate. Message counts, volumes and communication stage structure
+// are produced by the real algorithms; only time is modeled.
+#pragma once
+
+#include <cmath>
+
+namespace pt::sim {
+
+struct Machine {
+  double alpha = 5.0e-7;        ///< per-message latency [s] (HDR RDMA)
+  double beta = 1.0 / 10.0e9;   ///< per-byte transfer time [s/B] (~10 GB/s)
+  double computeRate = 2.0e9;   ///< work-units per second per core
+  int coresPerNode = 56;
+  /// Extra multiplier applied to dense personalized all-to-all traffic;
+  /// models the network congestion the paper observed with MPI_Alltoall.
+  double alltoallCongestion = 4.0;
+  /// Per-destination-entry CPU time to populate an O(p) send-count array
+  /// (the paper calls this out for the dense Alltoall in Sec II-C3c).
+  double perRankSetup = 4.0e-9;
+  /// Dense personalized all-to-alls saturate the fabric beyond roughly one
+  /// full fat-tree pod; past this rank count their latency degrades
+  /// steeply (the cliff the paper observed between 28K and 56K cores).
+  double alltoallSaturationRanks = 28672.0;
+  double alltoallSaturationSlope = 7.0;
+
+  /// Latency degradation factor for a dense all-to-all on p ranks.
+  double alltoallSaturation(double p) const {
+    const double over = std::max(0.0, p - alltoallSaturationRanks);
+    return 1.0 + alltoallSaturationSlope * over / alltoallSaturationRanks;
+  }
+
+  /// Frontera-like preset used by the paper-scale projections.
+  static Machine frontera() { return Machine{}; }
+
+  /// A loopback preset with negligible latency, for unit tests that only
+  /// validate data movement.
+  static Machine loopback() {
+    Machine m;
+    m.alpha = 1e-9;
+    m.beta = 1e-12;
+    m.alltoallCongestion = 1.0;
+    return m;
+  }
+};
+
+/// ceil(log2(p)), with log2(1) = 0.
+inline int ceilLog2(long p) {
+  int l = 0;
+  long v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++l;
+  }
+  return l;
+}
+
+/// ceil(log_k(p)).
+inline int ceilLogK(long p, int k) {
+  int l = 0;
+  long v = 1;
+  while (v < p) {
+    v *= k;
+    ++l;
+  }
+  return l;
+}
+
+}  // namespace pt::sim

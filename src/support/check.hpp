@@ -1,0 +1,40 @@
+// Runtime invariant checks that stay on in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pt {
+
+/// Thrown when a PT_CHECK invariant fails. Tests assert on this type.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void checkFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream ss;
+  ss << "PT_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) ss << " — " << msg;
+  throw CheckError(ss.str());
+}
+}  // namespace detail
+
+}  // namespace pt
+
+/// Invariant check; always on. Use for conditions whose violation means a
+/// bug in the library or caller, not recoverable input problems.
+#define PT_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::pt::detail::checkFail(#expr, __FILE__, __LINE__, \
+                                         std::string());            \
+  } while (0)
+
+#define PT_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) ::pt::detail::checkFail(#expr, __FILE__, __LINE__, \
+                                         (msg));                     \
+  } while (0)

@@ -1,0 +1,69 @@
+// Tiny CSV/table emitter used by the benchmark harnesses to print the
+// rows/series corresponding to each paper figure.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace pt {
+
+/// Collects rows and prints them both as an aligned table (human) and CSV
+/// (machine). Benchmarks print one Table per reproduced figure.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  template <typename... Ts>
+  void addRow(const Ts&... cells) {
+    std::vector<std::string> row;
+    (row.push_back(toCell(cells)), ...);
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os, const std::string& title) const {
+    os << "\n== " << title << " ==\n";
+    std::vector<std::size_t> w(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        os << std::left << std::setw(static_cast<int>(w[c]) + 2) << r[c];
+      os << "\n";
+    };
+    line(header_);
+    for (const auto& r : rows_) line(r);
+  }
+
+  void printCsv(std::ostream& os) const {
+    auto line = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) os << (c ? "," : "") << r[c];
+      os << "\n";
+    };
+    line(header_);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string toCell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream ss;
+      ss << std::setprecision(5) << v;
+      return ss.str();
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pt

@@ -1,0 +1,18 @@
+#include "support/log.hpp"
+
+namespace pt {
+
+LogLevel& logThreshold() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+namespace detail {
+
+void logLine(LogLevel level, const std::string& msg) {
+  static const char* names[] = {"DEBUG", "INFO ", "WARN ", "ERROR"};
+  std::cerr << "[pt:" << names[static_cast<int>(level)] << "] " << msg << "\n";
+}
+
+}  // namespace detail
+}  // namespace pt

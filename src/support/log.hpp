@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel& logThreshold();
+
+namespace detail {
+void logLine(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style logger: PT_LOG(kInfo) << "mesh has " << n << " elements";
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (level_ >= logThreshold()) detail::logLine(level_, ss_.str());
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+}  // namespace pt
+
+#define PT_LOG(level) ::pt::LogStream(::pt::LogLevel::level)

@@ -1,0 +1,59 @@
+// Accumulating wall-clock timers for instrumenting solver phases.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace pt {
+
+/// Accumulates wall-clock time across repeated start/stop pairs.
+/// Used both for real measurements (calibration of the simulated machine
+/// model) and for per-phase reporting in examples.
+class Timer {
+ public:
+  void start() { begin_ = Clock::now(); running_ = true; }
+
+  /// Stops and adds the elapsed interval. No-op if not running.
+  void stop() {
+    if (!running_) return;
+    total_ += std::chrono::duration<double>(Clock::now() - begin_).count();
+    ++count_;
+    running_ = false;
+  }
+
+  double seconds() const { return total_; }
+  long calls() const { return count_; }
+  void reset() { total_ = 0; count_ = 0; running_ = false; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point begin_{};
+  double total_ = 0;
+  long count_ = 0;
+  bool running_ = false;
+};
+
+/// Named registry of timers, e.g. one per solver phase ("ch-solve", ...).
+class TimerSet {
+ public:
+  Timer& operator[](const std::string& name) { return timers_[name]; }
+  const std::map<std::string, Timer>& all() const { return timers_; }
+
+ private:
+  std::map<std::string, Timer> timers_;
+};
+
+/// RAII scope guard around Timer::start/stop.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& t) : t_(t) { t_.start(); }
+  ~ScopedTimer() { t_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& t_;
+};
+
+}  // namespace pt

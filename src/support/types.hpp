@@ -1,0 +1,31 @@
+// Basic scalar and index types shared across the PhaseTree library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pt {
+
+/// Floating point type used for all field data and geometry.
+using Real = double;
+
+/// Index of a node/element local to one (simulated) rank.
+using LocalIdx = std::int64_t;
+
+/// Globally unique index across all ranks.
+using GlobalIdx = std::int64_t;
+
+/// Simulated MPI rank.
+using Rank = int;
+
+/// Octree level. Level 0 is the root; larger is finer.
+using Level = std::uint8_t;
+
+/// Number of children / corners of a DIM-dimensional octant.
+template <int DIM>
+inline constexpr int kNumChildren = 1 << DIM;
+
+/// Sentinel for "no index".
+inline constexpr GlobalIdx kInvalidIdx = -1;
+
+}  // namespace pt

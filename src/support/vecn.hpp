@@ -1,0 +1,59 @@
+// Small fixed-size vector used for points, velocities and gradients.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "support/types.hpp"
+
+namespace pt {
+
+/// A DIM-dimensional point/vector of Reals with the handful of operations the
+/// FEM kernels need. Deliberately minimal; element kernels operate on raw
+/// loops for performance, this type is for geometry plumbing.
+template <int DIM>
+struct VecN {
+  std::array<Real, DIM> v{};
+
+  Real& operator[](int d) { return v[d]; }
+  const Real& operator[](int d) const { return v[d]; }
+
+  VecN& operator+=(const VecN& o) {
+    for (int d = 0; d < DIM; ++d) v[d] += o.v[d];
+    return *this;
+  }
+  VecN& operator-=(const VecN& o) {
+    for (int d = 0; d < DIM; ++d) v[d] -= o.v[d];
+    return *this;
+  }
+  VecN& operator*=(Real s) {
+    for (int d = 0; d < DIM; ++d) v[d] *= s;
+    return *this;
+  }
+
+  friend VecN operator+(VecN a, const VecN& b) { return a += b; }
+  friend VecN operator-(VecN a, const VecN& b) { return a -= b; }
+  friend VecN operator*(VecN a, Real s) { return a *= s; }
+  friend VecN operator*(Real s, VecN a) { return a *= s; }
+
+  friend Real dot(const VecN& a, const VecN& b) {
+    Real s = 0;
+    for (int d = 0; d < DIM; ++d) s += a.v[d] * b.v[d];
+    return s;
+  }
+  friend Real norm(const VecN& a) { return std::sqrt(dot(a, a)); }
+
+  friend bool operator==(const VecN& a, const VecN& b) { return a.v == b.v; }
+
+  friend std::ostream& operator<<(std::ostream& os, const VecN& a) {
+    os << '(';
+    for (int d = 0; d < DIM; ++d) os << (d ? "," : "") << a.v[d];
+    return os << ')';
+  }
+};
+
+using Vec2 = VecN<2>;
+using Vec3 = VecN<3>;
+
+}  // namespace pt

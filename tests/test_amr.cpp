@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "amr/coarsen.hpp"
+#include "amr/par_coarsen.hpp"
+#include "amr/refine.hpp"
+#include "octree/tree.hpp"
+#include "support/rng.hpp"
+
+namespace pt {
+namespace {
+
+template <int DIM>
+OctList<DIM> randomTree(Rng& rng, Level maxLevel, Real refineProb) {
+  OctList<DIM> out;
+  std::function<void(const Octant<DIM>&)> rec = [&](const Octant<DIM>& o) {
+    if (o.level < maxLevel && rng.bernoulli(refineProb)) {
+      for (int c = 0; c < kNumChildren<DIM>; ++c) rec(o.child(c));
+    } else {
+      out.push_back(o);
+    }
+  };
+  rec(Octant<DIM>::root());
+  return out;
+}
+
+// ---- Algorithm 5 (REFINE) --------------------------------------------------
+
+TEST(Refine, SingleLeafToDeepLevel) {
+  OctList<2> in{Octant<2>::root()};
+  auto out = refine(in, std::vector<Level>{3});
+  EXPECT_EQ(out.size(), 64u);  // 4^3
+  EXPECT_TRUE(isLinear(out));
+  for (const auto& o : out) EXPECT_EQ(o.level, 3);
+}
+
+TEST(Refine, MixedMultiLevelTargets) {
+  OctList<2> in = uniformTree<2>(1);  // 4 leaves
+  // Leaf 0 jumps 3 levels, leaf 1 stays, leaf 2 jumps 1, leaf 3 jumps 2.
+  auto out = refine(in, std::vector<Level>{4, 1, 2, 3});
+  EXPECT_TRUE(isLinear(out));
+  EXPECT_EQ(out.size(), 64u + 1u + 4u + 16u);
+  EXPECT_NEAR(coveredVolume(out), 1.0, 1e-12);
+}
+
+TEST(Refine, TargetBelowLeafLevelIsClamped) {
+  OctList<3> in = uniformTree<3>(2);
+  auto out = refine(in, std::vector<Level>(in.size(), Level(0)));
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), in.begin()));
+}
+
+TEST(Refine, OutputSortedSinglePass3D) {
+  Rng rng(3);
+  OctList<3> in = randomTree<3>(rng, 4, 0.4);
+  std::vector<Level> want(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    want[i] = static_cast<Level>(
+        std::min<int>(kMaxLevel, in[i].level + rng.uniformInt(0, 3)));
+  auto out = refine(in, want);
+  EXPECT_TRUE(isLinear(out));
+  EXPECT_NEAR(coveredVolume(out), 1.0, 1e-12);
+}
+
+TEST(Refine, MatchesLevelByLevelBaseline) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    OctList<2> in = randomTree<2>(rng, 4, 0.5);
+    std::vector<Level> want(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      want[i] = static_cast<Level>(in[i].level + rng.uniformInt(0, 3));
+    auto fast = refine(in, want);
+    auto slow = refineLevelByLevel(in, want);
+    linearize(slow);  // baseline output is sorted but normalize anyway
+    ASSERT_EQ(fast.size(), slow.size());
+    EXPECT_TRUE(std::equal(fast.begin(), fast.end(), slow.begin()));
+  }
+}
+
+TEST(Refine, DiscardVoidDropsOctants) {
+  OctList<2> in = uniformTree<2>(2);
+  auto keep = [](const Octant<2>& o) {
+    return o.centerCoords()[0] < 0.5;  // keep left half
+  };
+  discardVoid<2>(in, keep);
+  EXPECT_EQ(in.size(), 8u);
+  EXPECT_NEAR(coveredVolume(in), 0.5, 1e-12);
+}
+
+// ---- Algorithm 6 (COARSEN) -------------------------------------------------
+
+TEST(Coarsen, FullConsensusCollapsesToAncestor) {
+  OctList<2> in = uniformTree<2>(3);
+  auto out = coarsen(in, std::vector<Level>(in.size(), Level(0)));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Octant<2>::root());
+}
+
+TEST(Coarsen, OneDissenterBlocksSubtree) {
+  OctList<2> in = uniformTree<2>(2);  // 16 leaves
+  std::vector<Level> acc(in.size(), Level(0));
+  acc[5] = 2;  // this leaf refuses to coarsen; it lives in child 1 of root
+  auto out = coarsen(in, acc);
+  // Its subtree (root child containing leaf 5) cannot collapse past the
+  // level-1 ancestors of the dissenter; the other root children collapse to
+  // level 1 and the root cannot be emitted.
+  EXPECT_TRUE(isLinear(out));
+  EXPECT_GT(out.size(), 1u);
+  EXPECT_LT(out.size(), in.size());
+  EXPECT_NEAR(coveredVolume(out), 1.0, 1e-12);
+  // The dissenting leaf must survive unmodified.
+  EXPECT_TRUE(std::find(out.begin(), out.end(), in[5]) != out.end());
+}
+
+TEST(Coarsen, MultiLevelJumpInOnePass) {
+  OctList<3> in = uniformTree<3>(3);  // 512 leaves
+  auto out = coarsen(in, std::vector<Level>(in.size(), Level(1)));
+  EXPECT_EQ(out.size(), 8u);
+  for (const auto& o : out) EXPECT_EQ(o.level, 1);
+}
+
+TEST(Coarsen, RefineCoarsenRoundTrip) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    OctList<2> base = randomTree<2>(rng, 4, 0.5);
+    // Refine every leaf by +2 levels, then allow coarsening back.
+    std::vector<Level> up(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i)
+      up[i] = static_cast<Level>(base[i].level + 2);
+    auto fine = refine(base, up);
+    // Each fine leaf accepts its level-minus-2 ancestor.
+    std::vector<Level> down(fine.size());
+    for (std::size_t i = 0; i < fine.size(); ++i)
+      down[i] = static_cast<Level>(fine[i].level - 2);
+    auto back = coarsen(fine, down);
+    ASSERT_EQ(back.size(), base.size());
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), base.begin()));
+  }
+}
+
+TEST(Coarsen, MatchesLevelByLevelBaseline) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    OctList<2> in = randomTree<2>(rng, 5, 0.6);
+    std::vector<Level> acc(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+      acc[i] = static_cast<Level>(
+          std::max<int>(0, in[i].level - rng.uniformInt(0, 3)));
+    auto fast = coarsen(in, acc);
+    auto slow = coarsenLevelByLevel(in, acc);
+    ASSERT_EQ(fast.size(), slow.size()) << "trial " << trial;
+    EXPECT_TRUE(std::equal(fast.begin(), fast.end(), slow.begin()));
+  }
+}
+
+TEST(Coarsen, IncompleteTreeNoFillIn) {
+  // Keep only 3 of 4 root children's subtrees; with full coverage required,
+  // the root must NOT be emitted even though all inputs vote coarsen.
+  OctList<2> in = uniformTree<2>(2);
+  auto keep = [](const Octant<2>& o) {
+    return !(o.centerCoords()[0] > 0.5 && o.centerCoords()[1] > 0.5);
+  };
+  discardVoid<2>(in, keep);
+  ASSERT_EQ(in.size(), 12u);
+  auto out = coarsen(in, std::vector<Level>(in.size(), Level(0)));
+  EXPECT_TRUE(isLinear(out));
+  // The three present quadrants collapse to level 1; root impossible.
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& o : out) EXPECT_EQ(o.level, 1);
+}
+
+TEST(Coarsen, TentativeModeAllowsPartialCoverage) {
+  OctList<2> in = uniformTree<2>(2);
+  auto keep = [](const Octant<2>& o) { return o.centerCoords()[0] < 0.26; };
+  discardVoid<2>(in, keep);  // only the left column of leaves
+  auto out =
+      coarsen(in, std::vector<Level>(in.size(), Level(0)), false);
+  // Tentative mode promotes aggressively despite missing inputs.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Octant<2>::root());
+}
+
+// ---- Algorithm 7 (PARCOARSEN) ---------------------------------------------
+
+struct ParCoarsenCase {
+  int ranks;
+  unsigned seed;
+};
+
+class ParCoarsenP
+    : public ::testing::TestWithParam<ParCoarsenCase> {};
+
+TEST_P(ParCoarsenP, MatchesSerialCoarsen) {
+  const auto [p, seed] = GetParam();
+  sim::SimComm comm(p, sim::Machine::loopback());
+  Rng rng(seed);
+  OctList<2> global = randomTree<2>(rng, 6, 0.55);
+  std::vector<Level> accept(global.size());
+  for (std::size_t i = 0; i < global.size(); ++i)
+    accept[i] = static_cast<Level>(
+        std::max<int>(0, global[i].level - rng.uniformInt(0, 4)));
+  // Serial reference.
+  auto serial = coarsen(global, accept);
+  // Distribute (uneven cuts to stress boundaries).
+  sim::PerRank<OctList<2>> in(p);
+  sim::PerRank<std::vector<Level>> lv(p);
+  std::size_t pos = 0;
+  for (int r = 0; r < p; ++r) {
+    std::size_t take = (global.size() - pos) / (p - r);
+    if (r % 2 == 0 && take > 1) take = take / 2 + 1;  // uneven
+    if (r == p - 1) take = global.size() - pos;
+    in[r].assign(global.begin() + pos, global.begin() + pos + take);
+    lv[r].assign(accept.begin() + pos, accept.begin() + pos + take);
+    pos += take;
+  }
+  auto outPer = parCoarsen(comm, in, lv);
+  OctList<2> out;
+  for (const auto& part : outPer)
+    out.insert(out.end(), part.begin(), part.end());
+  ASSERT_EQ(out.size(), serial.size());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), serial.begin()));
+  EXPECT_TRUE(isLinear(out));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, ParCoarsenP,
+    ::testing::Values(ParCoarsenCase{1, 101}, ParCoarsenCase{2, 102},
+                      ParCoarsenCase{3, 103}, ParCoarsenCase{4, 104},
+                      ParCoarsenCase{5, 105}, ParCoarsenCase{8, 106},
+                      ParCoarsenCase{13, 107}, ParCoarsenCase{16, 108}));
+
+TEST(ParCoarsen, AggressiveSpanAcrossManyRanks) {
+  // Everything votes "collapse to root" while scattered over many ranks:
+  // worst case for the endpoint exchange (one coarse octant overlapping
+  // multiple remote partitions).
+  const int p = 8;
+  sim::SimComm comm(p, sim::Machine::loopback());
+  OctList<2> global = uniformTree<2>(3);
+  sim::PerRank<OctList<2>> in(p);
+  sim::PerRank<std::vector<Level>> lv(p);
+  std::size_t pos = 0;
+  for (int r = 0; r < p; ++r) {
+    std::size_t take = global.size() / p;
+    if (r == p - 1) take = global.size() - pos;
+    in[r].assign(global.begin() + pos, global.begin() + pos + take);
+    lv[r].assign(take, Level(0));
+    pos += take;
+  }
+  auto outPer = parCoarsen(comm, in, lv);
+  OctList<2> out;
+  for (const auto& part : outPer)
+    out.insert(out.end(), part.begin(), part.end());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Octant<2>::root());
+}
+
+TEST(ParCoarsen, EmptyRanksHandled) {
+  const int p = 4;
+  sim::SimComm comm(p, sim::Machine::loopback());
+  OctList<2> global = uniformTree<2>(2);
+  sim::PerRank<OctList<2>> in(p);
+  sim::PerRank<std::vector<Level>> lv(p);
+  in[1] = global;  // everything on rank 1
+  lv[1].assign(global.size(), Level(1));
+  auto outPer = parCoarsen(comm, in, lv);
+  OctList<2> out;
+  for (const auto& part : outPer)
+    out.insert(out.end(), part.begin(), part.end());
+  auto serial = coarsen(global, std::vector<Level>(global.size(), Level(1)));
+  ASSERT_EQ(out.size(), serial.size());
+  EXPECT_TRUE(std::equal(out.begin(), out.end(), serial.begin()));
+}
+
+}  // namespace
+}  // namespace pt

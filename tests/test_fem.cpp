@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "fem/basis.hpp"
+#include "fem/bc.hpp"
+#include "fem/elem_ops.hpp"
+#include "fem/layout.hpp"
+#include "fem/matvec.hpp"
+#include "la/ksp.hpp"
+#include "support/rng.hpp"
+
+namespace pt {
+namespace {
+
+// ---- Basis & quadrature ------------------------------------------------------
+
+template <typename T>
+class FemTyped : public ::testing::Test {};
+struct D2 {
+  static constexpr int dim = 2;
+};
+struct D3 {
+  static constexpr int dim = 3;
+};
+using Dims = ::testing::Types<D2, D3>;
+TYPED_TEST_SUITE(FemTyped, Dims);
+
+TYPED_TEST(FemTyped, PartitionOfUnity) {
+  constexpr int D = TypeParam::dim;
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    VecN<D> xi;
+    for (int d = 0; d < D; ++d) xi[d] = rng.uniform();
+    Real sum = 0;
+    VecN<D> gsum;
+    for (int i = 0; i < fem::kNodes<D>; ++i) {
+      sum += fem::shape<D>(i, xi);
+      gsum += fem::shapeGrad<D>(i, xi);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-14);
+    EXPECT_NEAR(norm(gsum), 0.0, 1e-13);
+  }
+}
+
+TYPED_TEST(FemTyped, KroneckerAtCorners) {
+  constexpr int D = TypeParam::dim;
+  for (int i = 0; i < fem::kNodes<D>; ++i)
+    for (int j = 0; j < fem::kNodes<D>; ++j) {
+      VecN<D> corner;
+      for (int d = 0; d < D; ++d) corner[d] = (j >> d) & 1;
+      EXPECT_NEAR(fem::shape<D>(i, corner), i == j ? 1.0 : 0.0, 1e-14);
+    }
+}
+
+TYPED_TEST(FemTyped, GradMatchesFiniteDifference) {
+  constexpr int D = TypeParam::dim;
+  Rng rng(7);
+  const Real h = 1e-6;
+  for (int i = 0; i < fem::kNodes<D>; ++i) {
+    VecN<D> xi;
+    for (int d = 0; d < D; ++d) xi[d] = rng.uniform(0.1, 0.9);
+    const VecN<D> g = fem::shapeGrad<D>(i, xi);
+    for (int d = 0; d < D; ++d) {
+      VecN<D> xp = xi, xm = xi;
+      xp[d] += h;
+      xm[d] -= h;
+      const Real fd =
+          (fem::shape<D>(i, xp) - fem::shape<D>(i, xm)) / (2 * h);
+      EXPECT_NEAR(g[d], fd, 1e-8);
+    }
+  }
+}
+
+TYPED_TEST(FemTyped, QuadratureWeightsSumToOne) {
+  constexpr int D = TypeParam::dim;
+  const auto& q1 = fem::Quadrature<D, 1>::get();
+  const auto& q2 = fem::Quadrature<D, 2>::get();
+  const auto& q3 = fem::Quadrature<D, 3>::get();
+  auto total = [](const auto& q) {
+    Real s = 0;
+    for (Real w : q.w) s += w;
+    return s;
+  };
+  EXPECT_NEAR(total(q1), 1.0, 1e-14);
+  EXPECT_NEAR(total(q2), 1.0, 1e-14);
+  EXPECT_NEAR(total(q3), 1.0, 1e-14);
+}
+
+TYPED_TEST(FemTyped, QuadratureExactForCubics) {
+  // 2-point Gauss per direction integrates x^3 exactly on [0,1].
+  constexpr int D = TypeParam::dim;
+  const auto& q = fem::Quadrature<D, 2>::get();
+  Real integral = 0;
+  for (int i = 0; i < fem::Quadrature<D, 2>::kPoints; ++i)
+    integral += q.w[i] * std::pow(q.xi[i][0], 3.0);
+  EXPECT_NEAR(integral, 0.25, 1e-14);
+}
+
+// ---- Elemental operators -----------------------------------------------------
+
+TYPED_TEST(FemTyped, MassMatrixRowSumsAreVolumes) {
+  constexpr int D = TypeParam::dim;
+  const auto& m = fem::refMass<D>();
+  Real total = 0;
+  for (Real v : m) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-13);  // 1^T M 1 = |ref element|
+  // Symmetry + positivity of the diagonal.
+  for (int i = 0; i < fem::kNodes<D>; ++i) {
+    EXPECT_GT(m[i * fem::kNodes<D> + i], 0.0);
+    for (int j = 0; j < fem::kNodes<D>; ++j)
+      EXPECT_NEAR(m[i * fem::kNodes<D> + j], m[j * fem::kNodes<D> + i],
+                  1e-14);
+  }
+}
+
+TYPED_TEST(FemTyped, StiffnessAnnihilatesConstantsRowwise) {
+  constexpr int D = TypeParam::dim;
+  const auto& k = fem::refStiffness<D>();
+  for (int i = 0; i < fem::kNodes<D>; ++i) {
+    Real rowSum = 0;
+    for (int j = 0; j < fem::kNodes<D>; ++j)
+      rowSum += k[i * fem::kNodes<D> + j];
+    EXPECT_NEAR(rowSum, 0.0, 1e-13);
+  }
+}
+
+TYPED_TEST(FemTyped, GeneralAssemblyMatchesClosedForms) {
+  constexpr int D = TypeParam::dim;
+  const Real h = 0.125;
+  VecN<D> origin;
+  for (int d = 0; d < D; ++d) origin[d] = 0.25;
+  fem::ElemMat<D> M{}, K{};
+  fem::assembleElemMat<D>(origin, h, M,
+                          [](const fem::QPoint<D>& q, int i, int j) {
+                            return q.N[i] * q.N[j];
+                          });
+  fem::assembleElemMat<D>(origin, h, K,
+                          [](const fem::QPoint<D>& q, int i, int j) {
+                            return dot(q.dN[i], q.dN[j]);
+                          });
+  // Compare against applyMass / applyStiffness on unit vectors.
+  for (int j = 0; j < fem::kNodes<D>; ++j) {
+    Real e[fem::kNodes<D>] = {};
+    e[j] = 1.0;
+    Real ym[fem::kNodes<D>] = {}, yk[fem::kNodes<D>] = {};
+    fem::applyMass<D>(h, e, ym);
+    fem::applyStiffness<D>(h, e, yk);
+    for (int i = 0; i < fem::kNodes<D>; ++i) {
+      EXPECT_NEAR(M[i * fem::kNodes<D> + j], ym[i], 1e-13);
+      EXPECT_NEAR(K[i * fem::kNodes<D> + j], yk[i], 1e-13);
+    }
+  }
+}
+
+TYPED_TEST(FemTyped, EvalAndGradAtQ) {
+  constexpr int D = TypeParam::dim;
+  // u = 2 + 3 x0 (linear): value and gradient exact at quad points.
+  const Real h = 0.5;
+  VecN<D> origin{};
+  fem::ElemVec<D> dummy{};
+  fem::assembleElemVec<D>(origin, h, dummy, [&](const fem::QPoint<D>& q, int i) {
+    Real u[fem::kNodes<D>];
+    for (int n = 0; n < fem::kNodes<D>; ++n)
+      u[n] = 2.0 + 3.0 * (origin[0] + (((n >> 0) & 1) ? h : 0.0));
+    const Real val = fem::evalAtQ<D>(q, u);
+    const VecN<D> g = fem::gradAtQ<D>(q, u);
+    EXPECT_NEAR(val, 2.0 + 3.0 * q.pos[0], 1e-12);
+    EXPECT_NEAR(g[0], 3.0, 1e-12);
+    for (int d = 1; d < D; ++d) EXPECT_NEAR(g[d], 0.0, 1e-12);
+    (void)i;
+    return 0.0;
+  });
+}
+
+// ---- zip / unzip layouts (paper Figs 2-3) ------------------------------------
+
+class LayoutP : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutP, ZipUnzipVecRoundTrip) {
+  const int ndof = GetParam();
+  const int nodes = 8;
+  Rng rng(11);
+  std::vector<Real> orig(nodes * ndof), zipped(nodes * ndof),
+      back(nodes * ndof);
+  for (auto& v : orig) v = rng.uniform(-1, 1);
+  fem::zipVec(orig.data(), zipped.data(), nodes, ndof);
+  fem::unzipVec(zipped.data(), back.data(), nodes, ndof);
+  EXPECT_EQ(orig, back);
+  // zip really groups dofs contiguously.
+  for (int d = 0; d < ndof; ++d)
+    for (int i = 0; i < nodes; ++i)
+      EXPECT_EQ(zipped[d * nodes + i], orig[i * ndof + d]);
+}
+
+TEST_P(LayoutP, ZipUnzipMatRoundTrip) {
+  const int ndof = GetParam();
+  const int nodes = 4;
+  const int n = nodes * ndof;
+  Rng rng(13);
+  std::vector<Real> orig(n * n), panels(n * n), back(n * n);
+  for (auto& v : orig) v = rng.uniform(-1, 1);
+  fem::zipMat(orig.data(), panels.data(), nodes, ndof);
+  fem::unzipMat(panels.data(), back.data(), nodes, ndof);
+  EXPECT_EQ(orig, back);
+  // Panel (di, dj) holds exactly the (dof_i, dof_j) operator block.
+  for (int di = 0; di < ndof; ++di)
+    for (int dj = 0; dj < ndof; ++dj)
+      for (int i = 0; i < nodes; ++i)
+        for (int j = 0; j < nodes; ++j)
+          EXPECT_EQ(panels[(di * ndof + dj) * nodes * nodes + i * nodes + j],
+                    orig[(i * ndof + di) * n + (j * ndof + dj)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dofs, LayoutP, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Layout, GemvOperatorMatchesNaive2D) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Real h = rng.uniform(0.01, 0.5);
+    Real u[4], yNaive[4] = {}, yGemv[4] = {};
+    for (auto& v : u) v = rng.uniform(-1, 1);
+    fem::applyMass<2>(h, u, yNaive);
+    fem::applyStiffness<2>(h, u, yNaive);
+    fem::applyGemvOperator<2>(h, 1.0, 1.0, u, yGemv);
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(yGemv[i], yNaive[i], 1e-13);
+  }
+}
+
+TEST(Layout, GemvOperatorMatchesNaive3D) {
+  Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Real h = rng.uniform(0.01, 0.5);
+    Real u[8], yNaive[8] = {}, yGemv[8] = {};
+    for (auto& v : u) v = rng.uniform(-1, 1);
+    fem::applyMass<3>(h, u, yNaive);
+    fem::applyStiffness<3>(h, u, yNaive);
+    fem::applyGemvOperator<3>(h, 1.0, 1.0, u, yGemv);
+    for (int i = 0; i < 8; ++i) EXPECT_NEAR(yGemv[i], yNaive[i], 1e-13);
+  }
+}
+
+TEST(Layout, GemmAssemblyMatchesClosedForms) {
+  const Real h = 0.0625;
+  for (int dim = 0; dim < 1; ++dim) {
+    fem::ElemMat<3> gemm{};
+    fem::assembleGemmOperator<3>(h, 2.5, 0.5, gemm.data());
+    const auto& refM = fem::refMass<3>();
+    const auto& refK = fem::refStiffness<3>();
+    const Real mScale = 2.5 * h * h * h;
+    const Real kScale = 0.5 * h;  // h^(D-2) = h in 3D
+    for (std::size_t k = 0; k < gemm.size(); ++k)
+      EXPECT_NEAR(gemm[k], refM[k] * mScale + refK[k] * kScale, 1e-13);
+  }
+}
+
+// ---- Boundary-condition helpers ----------------------------------------------
+
+TEST(Bc, BoundaryMaskMarksExactlyTheBoundary) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(3));
+  auto mesh = Mesh<2>::build(comm, dt);
+  Field mask = fem::boundaryMask(mesh);
+  long boundary = 0;
+  for (int r = 0; r < 2; ++r) {
+    const auto& rm = mesh.rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+      const auto k = rm.nodeKeys[li];
+      const bool onBnd = k[0] == 0 || k[1] == 0 || k[0] == kMaxCoord ||
+                         k[1] == kMaxCoord;
+      EXPECT_EQ(mask[r][li] != 0.0, onBnd);
+      if (onBnd && rm.nodeOwner[li] == r) ++boundary;
+    }
+  }
+  EXPECT_EQ(boundary, 4 * 8);  // 9x9 grid: 32 boundary nodes
+}
+
+TEST(Bc, DirichletOpIsIdentityOnBoundary) {
+  sim::SimComm comm(1, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(3));
+  auto mesh = Mesh<2>::build(comm, dt);
+  Field mask = fem::boundaryMask(mesh);
+  la::LinOp<Field> K = [&](const Field& x, Field& y) {
+    fem::stiffnessMatvec(mesh, x, y);
+  };
+  la::LinOp<Field> A = fem::dirichletOp(mesh, mask, K);
+  Field x = mesh.makeField(), y = mesh.makeField();
+  fem::setByPosition<2>(mesh, x, 1, [](const VecN<2>& p, Real* v) {
+    v[0] = std::sin(4 * p[0]) + p[1];
+  });
+  A(x, y);
+  const auto& rm = mesh.rank(0);
+  for (std::size_t li = 0; li < rm.nNodes(); ++li)
+    if (mask[0][li] != 0.0) {
+      EXPECT_DOUBLE_EQ(y[0][li], x[0][li]);
+    }
+}
+
+TEST(Bc, LiftedRhsSolvesInhomogeneousProblem) {
+  // -Laplace u = 0 with u = x on the boundary has solution u = x.
+  sim::SimComm comm(2, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(4));
+  auto mesh = Mesh<2>::build(comm, dt);
+  la::FieldSpace<2> S(mesh, 1);
+  Field mask = fem::boundaryMask(mesh);
+  la::LinOp<Field> K = [&](const Field& x, Field& y) {
+    fem::stiffnessMatvec(mesh, x, y);
+  };
+  la::LinOp<Field> A = fem::dirichletOp(mesh, mask, K);
+  Field g = mesh.makeField();
+  fem::setByPosition<2>(mesh, g, 1,
+                        [](const VecN<2>& p, Real* v) { v[0] = p[0]; });
+  Field f = mesh.makeField();  // zero interior load
+  Field rhs = fem::liftDirichletRhs(mesh, mask, K, f, g);
+  Field u = mesh.makeField();
+  auto res = la::cg(S, A, rhs, u, {.rtol = 1e-12, .maxIterations = 2000});
+  EXPECT_TRUE(res.converged);
+  for (int r = 0; r < 2; ++r) {
+    const auto& rm = mesh.rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li)
+      EXPECT_NEAR(u[r][li], nodeCoords(rm.nodeKeys[li])[0], 1e-9);
+  }
+}
+
+// ---- matvec utilities ---------------------------------------------------------
+
+TEST(Matvec, AssembleRhsMatchesMassApply) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(4));
+  auto mesh = Mesh<2>::build(comm, dt);
+  Field u = mesh.makeField(), a = mesh.makeField(), b = mesh.makeField();
+  fem::setByPosition<2>(mesh, u, 1, [](const VecN<2>& p, Real* v) {
+    v[0] = p[0] * p[0] - p[1];
+  });
+  fem::massMatvec(mesh, u, a);
+  // Same quantity via assembleRhs with an explicit quadrature loop.
+  const auto& quad = fem::Quadrature<2, 2>::get();
+  const auto& bt = fem::BasisTable<2, 2>::get();
+  std::vector<Real> uLoc(4);
+  fem::assembleRhs<2>(
+      mesh, b, 1,
+      [&](int r, std::size_t e, const Octant<2>& oct, Real* out) {
+        fem::gatherElem(mesh.rank(r), e, u[r], 1, uLoc.data());
+        const Real h = oct.physSize();
+        for (int q = 0; q < 4; ++q) {
+          Real uq = 0;
+          for (int i = 0; i < 4; ++i) uq += bt.N[q][i] * uLoc[i];
+          for (int i = 0; i < 4; ++i)
+            out[i] += quad.w[q] * h * h * uq * bt.N[q][i];
+        }
+      });
+  for (int r = 0; r < 2; ++r)
+    for (std::size_t i = 0; i < a[r].size(); ++i)
+      EXPECT_NEAR(a[r][i], b[r][i], 1e-13);
+}
+
+TEST(Matvec, MultiDofBlockDiagonalEqualsScalarPerComponent) {
+  sim::SimComm comm(1, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, uniformTree<2>(3));
+  auto mesh = Mesh<2>::build(comm, dt);
+  // A 2-dof operator that applies mass to each component independently
+  // must act like the scalar mass on each dof slice.
+  Field x = mesh.makeField(2), y = mesh.makeField(2);
+  fem::setByPosition<2>(mesh, x, 2, [](const VecN<2>& p, Real* v) {
+    v[0] = p[0];
+    v[1] = 3 * p[1] - 1;
+  });
+  fem::matvec<2>(mesh, x, y, 2,
+                 [](const Octant<2>& oct, const Real* in, Real* out) {
+                   Real comp[4], res[4];
+                   for (int d = 0; d < 2; ++d) {
+                     for (int c = 0; c < 4; ++c) comp[c] = in[c * 2 + d];
+                     std::fill(res, res + 4, 0.0);
+                     fem::applyMass<2>(oct.physSize(), comp, res);
+                     for (int c = 0; c < 4; ++c) out[c * 2 + d] += res[c];
+                   }
+                 });
+  for (int d = 0; d < 2; ++d) {
+    Field xs = mesh.makeField(), ys = mesh.makeField();
+    for (std::size_t i = 0; i < mesh.rank(0).nNodes(); ++i)
+      xs[0][i] = x[0][i * 2 + d];
+    fem::massMatvec(mesh, xs, ys);
+    for (std::size_t i = 0; i < mesh.rank(0).nNodes(); ++i)
+      EXPECT_NEAR(y[0][i * 2 + d], ys[0][i], 1e-13);
+  }
+}
+
+}  // namespace
+}  // namespace pt

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "octree/hilbert.hpp"
+#include "octree/tree.hpp"
+#include "support/rng.hpp"
+
+namespace pt {
+namespace {
+
+OctList<2> randomTree(Rng& rng, Level maxLevel, Real prob) {
+  OctList<2> out;
+  std::function<void(const Octant<2>&)> rec = [&](const Octant<2>& o) {
+    if (o.level < maxLevel && rng.bernoulli(prob)) {
+      for (int c = 0; c < 4; ++c) rec(o.child(c));
+    } else {
+      out.push_back(o);
+    }
+  };
+  rec(Octant<2>::root());
+  return out;
+}
+
+TEST(Hilbert, IndexIsABijectionOnSmallGrid) {
+  // Check that distinct cells of an 8x8 block map to distinct, in-range
+  // Hilbert indices (sampled at the top-left of the domain).
+  std::set<std::uint64_t> seen;
+  const std::uint32_t step = kMaxCoord / 8;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      const auto d = hilbertIndex2d(i * step, j * step);
+      EXPECT_TRUE(seen.insert(d).second);
+    }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Hilbert, ConsecutiveUniformCellsAreFaceAdjacent) {
+  // The defining Hilbert property: on a uniform grid, consecutive cells in
+  // curve order share a face (Manhattan distance of anchors == one cell).
+  for (Level L : {2, 3, 4, 5}) {
+    OctList<2> grid = uniformTree<2>(L);
+    std::sort(grid.begin(), grid.end(), HilbertLess{});
+    const std::uint32_t h = kMaxCoord >> L;
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      const auto& a = grid[i - 1];
+      const auto& b = grid[i];
+      const std::uint64_t dx =
+          a.x[0] > b.x[0] ? a.x[0] - b.x[0] : b.x[0] - a.x[0];
+      const std::uint64_t dy =
+          a.x[1] > b.x[1] ? a.x[1] - b.x[1] : b.x[1] - a.x[1];
+      ASSERT_EQ(dx + dy, h) << "level " << int(L) << " pos " << i;
+    }
+  }
+}
+
+TEST(Hilbert, MortonOrderIsNotFaceAdjacent) {
+  // The contrast that motivates Hilbert: Morton order takes diagonal jumps.
+  OctList<2> grid = uniformTree<2>(3);  // already Morton-sorted
+  const std::uint32_t h = kMaxCoord >> 3;
+  int jumps = 0;
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const auto& a = grid[i - 1];
+    const auto& b = grid[i];
+    const std::uint64_t dx =
+        a.x[0] > b.x[0] ? a.x[0] - b.x[0] : b.x[0] - a.x[0];
+    const std::uint64_t dy =
+        a.x[1] > b.x[1] ? a.x[1] - b.x[1] : b.x[1] - a.x[1];
+    if (dx + dy != h) ++jumps;
+  }
+  EXPECT_GT(jumps, 0);
+}
+
+TEST(Hilbert, HierarchicalPreorderProperties) {
+  Rng rng(3);
+  OctList<2> leaves = randomTree(rng, 5, 0.5);
+  OctList<2> all = leaves;
+  // Add some ancestors to exercise ancestor-first.
+  for (std::size_t i = 0; i < leaves.size(); i += 7)
+    if (leaves[i].level > 0) all.push_back(leaves[i].parent());
+  // Ancestor-first.
+  for (const auto& o : all)
+    if (o.level > 0) {
+      EXPECT_TRUE(hilbertLess(o.parent(), o));
+      EXPECT_FALSE(hilbertLess(o, o.parent()));
+    }
+  // Irreflexive + antisymmetric on samples.
+  Rng pick(9);
+  for (int t = 0; t < 500; ++t) {
+    const auto& a = all[pick.uniformInt(0, all.size() - 1)];
+    const auto& b = all[pick.uniformInt(0, all.size() - 1)];
+    EXPECT_FALSE(hilbertLess(a, a));
+    if (!(a == b)) {
+      EXPECT_NE(hilbertLess(a, b), hilbertLess(b, a));
+    }
+  }
+  // Transitivity on samples.
+  for (int t = 0; t < 500; ++t) {
+    const auto& a = all[pick.uniformInt(0, all.size() - 1)];
+    const auto& b = all[pick.uniformInt(0, all.size() - 1)];
+    const auto& c = all[pick.uniformInt(0, all.size() - 1)];
+    if (hilbertLess(a, b) && hilbertLess(b, c)) {
+      EXPECT_TRUE(hilbertLess(a, c));
+    }
+  }
+}
+
+TEST(Hilbert, HierarchyPropertyOfPaperSecIIC2c) {
+  // "Let a, x, y be octants such that a is an ancestor of x but not of y.
+  //  Then y < a <=> y < x." — required for the overlap-order machinery.
+  Rng rng(17);
+  OctList<2> leaves = randomTree(rng, 5, 0.5);
+  Rng pick(23);
+  for (int t = 0; t < 1000; ++t) {
+    const auto& x = leaves[pick.uniformInt(0, leaves.size() - 1)];
+    const auto& y = leaves[pick.uniformInt(0, leaves.size() - 1)];
+    if (x.level == 0) continue;
+    const Octant<2> a = x.ancestorAt(
+        static_cast<Level>(pick.uniformInt(0, x.level - 1)));
+    if (a.isAncestorOf(y)) continue;
+    EXPECT_EQ(hilbertLess(y, a), hilbertLess(y, x));
+    EXPECT_EQ(hilbertLess(a, y), hilbertLess(x, y));
+  }
+}
+
+TEST(Hilbert, BetterLocalityThanMortonOnAdaptiveMeshes) {
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    OctList<2> leaves = randomTree(rng, 6, 0.5);
+    if (leaves.size() < 16) continue;  // degenerate draw
+    const Real hilbert = orderingLocality(leaves, HilbertLess{});
+    const Real morton = orderingLocality(leaves, SfcLess<2>{});
+    EXPECT_LT(hilbert, morton) << "trial " << trial;
+  }
+  // On a uniform grid Hilbert locality is exactly 1 (face neighbors).
+  OctList<2> grid = uniformTree<2>(5);
+  EXPECT_NEAR(orderingLocality(grid, HilbertLess{}), 1.0, 1e-12);
+  EXPECT_GT(orderingLocality(grid, SfcLess<2>{}), 1.2);
+}
+
+TEST(Hilbert, PartitionSurfaceSmallerThanMorton) {
+  // The ghost-layer consequence of locality: cut a Hilbert-sorted grid
+  // into contiguous chunks; the number of cross-chunk face adjacencies
+  // (ghost faces) is smaller than with Morton-sorted chunks.
+  OctList<2> grid = uniformTree<2>(5);  // 1024 cells
+  auto ghostFaces = [&](const OctList<2>& sorted, int parts) {
+    const std::size_t chunk = sorted.size() / parts;
+    auto partOf = [&](const Octant<2>& o) {
+      for (std::size_t i = 0; i < sorted.size(); ++i)
+        if (sorted[i] == o)
+          return static_cast<int>(std::min<std::size_t>(i / chunk,
+                                                        parts - 1));
+      return -1;
+    };
+    long cross = 0;
+    const std::uint32_t h = kMaxCoord >> 5;
+    for (const auto& o : sorted) {
+      const int po = partOf(o);
+      // Right and top face neighbors only (each pair counted once).
+      for (int d = 0; d < 2; ++d) {
+        Octant<2> n = o;
+        if (n.x[d] + h >= kMaxCoord) continue;
+        n.x[d] += h;
+        const int pn = partOf(n);
+        if (pn >= 0 && pn != po) ++cross;
+      }
+    }
+    return cross;
+  };
+  OctList<2> hilbertSorted = grid;
+  std::sort(hilbertSorted.begin(), hilbertSorted.end(), HilbertLess{});
+  // Power-of-2 chunk counts make Morton chunks aligned quadtree blocks
+  // (equally compact); real partitions are not aligned — use 7 parts.
+  const long hilbertCut = ghostFaces(hilbertSorted, 7);
+  const long mortonCut = ghostFaces(grid, 7);  // grid is Morton-sorted
+  EXPECT_LE(hilbertCut, mortonCut);
+}
+
+}  // namespace
+}  // namespace pt

@@ -1,0 +1,192 @@
+// End-to-end integration tests: the full pipeline the jet-atomization runs
+// exercise — solve + identify + remesh + transfer + checkpoint + restart on
+// more ranks + continue — plus a 3D solver smoke test.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/fields.hpp"
+#include "chns/checkpoint.hpp"
+#include "chns/solver.hpp"
+#include "io/vtk.hpp"
+
+namespace pt {
+namespace {
+
+chns::ChnsOptions<2> dropOptions() {
+  chns::ChnsOptions<2> opt;
+  opt.params.Re = 50;
+  opt.params.We = 5;
+  opt.params.Pe = 50;
+  opt.params.Cn = 0.04;
+  opt.dt = 2e-3;
+  opt.remeshEvery = 2;
+  opt.coarseLevel = 3;
+  opt.interfaceLevel = 5;
+  opt.featureLevel = 6;
+  opt.referenceLevel = 6;
+  opt.identify.cnCoarse = opt.params.Cn;
+  opt.identify.cnFine = opt.params.Cn / 2;
+  return opt;
+}
+
+TEST(Integration, SolveRemeshCheckpointRestartContinue) {
+  const std::string path = "/tmp/pt_integration_ck.bin";
+  Real massAtCheckpoint = 0, energyAtCheckpoint = 0;
+  // Phase 1: run 3 steps (with remeshing) on 2 ranks and checkpoint.
+  {
+    sim::SimComm comm(2, sim::Machine::loopback());
+    auto opt = dropOptions();
+    auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+    chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+    s.setInitialCondition([&](const VecN<2>& x) {
+      return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.25, opt.params.Cn);
+    });
+    for (int i = 0; i < 3; ++i) s.step();
+    massAtCheckpoint = s.phiIntegral();
+    energyAtCheckpoint = s.freeEnergy();
+    chns::saveSolverState<2>(path, s);
+  }
+  // Phase 2: restart on 5 ranks; diagnostics must match the checkpoint
+  // tightly, and the run must continue stably.
+  {
+    sim::SimComm comm(5, sim::Machine::loopback());
+    auto s = chns::restoreSolverState<2>(comm, path, dropOptions());
+    EXPECT_NEAR(s.phiIntegral(), massAtCheckpoint,
+                1e-10 * std::abs(massAtCheckpoint));
+    EXPECT_NEAR(s.freeEnergy(), energyAtCheckpoint,
+                1e-8 * std::abs(energyAtCheckpoint));
+    // All 5 ranks active after the restore's repartition.
+    for (int r = 0; r < 5; ++r)
+      EXPECT_FALSE(s.tree().localOf(r).empty());
+    const Real e0 = s.freeEnergy();
+    for (int i = 0; i < 2; ++i) s.step();
+    EXPECT_TRUE(s.lastChNewton_.converged);
+    EXPECT_TRUE(s.lastPp_.converged);
+    EXPECT_NEAR(s.phiIntegral(), massAtCheckpoint,
+                0.02 * std::abs(massAtCheckpoint));
+    EXPECT_LT(s.freeEnergy(), e0 + 1e-9);  // still dissipative
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Integration, RestartMatchesUninterruptedRun) {
+  const std::string path = "/tmp/pt_integration_ck2.bin";
+  auto opt = dropOptions();
+  opt.remeshEvery = 0;  // fixed mesh so trajectories are comparable
+  auto ic = [&](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.25, opt.params.Cn);
+  };
+  // Uninterrupted: 4 steps on 2 ranks.
+  Real massRef = 0, energyRef = 0;
+  {
+    sim::SimComm comm(2, sim::Machine::loopback());
+    chns::ChnsSolver<2> s(comm, DistTree<2>::fromGlobal(comm, uniformTree<2>(4)),
+                          opt);
+    s.setInitialCondition(ic);
+    for (int i = 0; i < 4; ++i) s.step();
+    massRef = s.phiIntegral();
+    energyRef = s.freeEnergy();
+  }
+  // Interrupted: 2 steps, checkpoint, restart on 3 ranks, 2 more steps.
+  {
+    sim::SimComm comm(2, sim::Machine::loopback());
+    chns::ChnsSolver<2> s(comm, DistTree<2>::fromGlobal(comm, uniformTree<2>(4)),
+                          opt);
+    s.setInitialCondition(ic);
+    for (int i = 0; i < 2; ++i) s.step();
+    chns::saveSolverState<2>(path, s);
+  }
+  {
+    sim::SimComm comm(3, sim::Machine::loopback());
+    auto s = chns::restoreSolverState<2>(comm, path, opt);
+    for (int i = 0; i < 2; ++i) s.step();
+    EXPECT_NEAR(s.phiIntegral(), massRef, 1e-9 * std::abs(massRef));
+    EXPECT_NEAR(s.freeEnergy(), energyRef, 1e-5 * std::abs(energyRef));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Integration, Chns3dSmokeTest) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  chns::ChnsOptions<3> opt;
+  opt.params.Re = 30;
+  opt.params.We = 5;
+  opt.params.Pe = 30;
+  opt.params.Cn = 0.08;
+  opt.dt = 2e-3;
+  opt.chNewton.linear.maxIterations = 150;
+  auto tree = DistTree<3>::fromGlobal(comm, uniformTree<3>(3));
+  chns::ChnsSolver<3> s(comm, std::move(tree), opt);
+  s.setInitialCondition([&](const VecN<3>& x) {
+    return apps::dropPhi<3>(x, VecN<3>{{0.5, 0.5, 0.5}}, 0.3, opt.params.Cn);
+  });
+  const Real m0 = s.phiIntegral();
+  const Real e0 = s.freeEnergy();
+  for (int i = 0; i < 2; ++i) s.step();
+  EXPECT_TRUE(s.lastChNewton_.converged);
+  EXPECT_TRUE(s.lastNs_.converged);
+  EXPECT_TRUE(s.lastPp_.converged);
+  EXPECT_NEAR(s.phiIntegral(), m0, 1e-5 * std::abs(m0) + 1e-7);
+  EXPECT_LT(s.freeEnergy(), e0 + 1e-9);
+  // Bounds stay sane in 3D too.
+  Real lo = 1e9, hi = -1e9;
+  for (int r = 0; r < 2; ++r)
+    for (Real v : s.phi()[r]) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  EXPECT_GT(lo, -1.2);
+  EXPECT_LT(hi, 1.2);
+}
+
+TEST(Integration, Remesh3dWithIdentifierAndTransfer) {
+  sim::SimComm comm(3, sim::Machine::loopback());
+  chns::ChnsOptions<3> opt;
+  opt.params.Cn = 0.06;
+  opt.dt = 1e-3;
+  opt.coarseLevel = 2;
+  opt.interfaceLevel = 4;
+  opt.featureLevel = 5;
+  opt.referenceLevel = 5;
+  opt.identify.cnCoarse = opt.params.Cn;
+  opt.identify.cnFine = opt.params.Cn / 2;
+  opt.identify.delta = -0.6;
+  auto tree = DistTree<3>::fromGlobal(comm, uniformTree<3>(3));
+  chns::ChnsSolver<3> s(comm, std::move(tree), opt);
+  s.setInitialCondition([&](const VecN<3>& x) {
+    return apps::dropPhi<3>(x, VecN<3>{{0.5, 0.5, 0.5}}, 0.28, opt.params.Cn);
+  });
+  const Real m0 = s.phiIntegral();
+  s.remeshNow();
+  EXPECT_TRUE(s.tree().globallyLinear());
+  EXPECT_TRUE(isBalanced(s.tree().gather()));
+  auto hist = levelHistogram(s.tree().gather());
+  EXPECT_GT(hist[4], 0u);  // interface refined
+  EXPECT_GT(hist[2] + hist[3], 0u);  // far field coarsened or kept
+  EXPECT_NEAR(s.phiIntegral(), m0, 0.03 * std::abs(m0));
+}
+
+TEST(Integration, VtkSnapshotOfLiveSolver) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  auto opt = dropOptions();
+  chns::ChnsSolver<2> s(comm, DistTree<2>::fromGlobal(comm, uniformTree<2>(4)),
+                        opt);
+  s.setInitialCondition([&](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.25, opt.params.Cn);
+  });
+  s.step();
+  const std::string path = "/tmp/pt_integration_snapshot.vtk";
+  io::writeVtk<2>(path, s.mesh(),
+                  {{"phi", &s.phi(), 1},
+                   {"vel", &s.velocity(), 2},
+                   {"p", &s.pressure(), 1}},
+                  {{"cn", &s.elemCn()}});
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pt

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "apps/fields.hpp"
+#include "fem/matvec.hpp"
+#include "io/checkpoint.hpp"
+#include "io/vtk.hpp"
+#include "octree/balance.hpp"
+
+namespace pt {
+namespace {
+
+template <int DIM>
+OctList<DIM> interfaceTree(Level coarse, Level fine) {
+  OctList<DIM> tree;
+  buildTree<DIM>(
+      Octant<DIM>::root(),
+      [=](const Octant<DIM>& o) {
+        auto c = o.centerCoords();
+        Real r2 = 0;
+        for (int d = 0; d < DIM; ++d) r2 += (c[d] - 0.5) * (c[d] - 0.5);
+        return std::abs(std::sqrt(r2) - 0.3) < 2.0 * o.physSize() ? fine
+                                                                  : coarse;
+      },
+      tree);
+  return balanceTree(tree);
+}
+
+TEST(Vtk, WritesWellFormedFile) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, interfaceTree<2>(2, 4));
+  auto mesh = Mesh<2>::build(comm, dt);
+  Field phi = mesh.makeField(1);
+  fem::setByPosition<2>(mesh, phi, 1, [](const VecN<2>& x, Real* v) {
+    v[0] = apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.3, 0.02);
+  });
+  sim::PerRank<std::vector<Real>> cn(2);
+  for (int r = 0; r < 2; ++r) cn[r].assign(mesh.rank(r).nElems(), 0.02);
+  const std::string path = "/tmp/pt_test_mesh.vtk";
+  io::writeVtk<2>(path, mesh, {{"phi", &phi, 1}}, {{"cn", &cn}});
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string s = ss.str();
+  EXPECT_NE(s.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(s.find("UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS phi"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS cn"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS level"), std::string::npos);
+  // Counts line up.
+  const std::size_t n = mesh.globalElemCount();
+  std::ostringstream cells;
+  cells << "CELLS " << n << " " << n * 5;
+  EXPECT_NE(s.find(cells.str()), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  sim::SimComm comm(3, sim::Machine::loopback());
+  auto dt = DistTree<2>::fromGlobal(comm, interfaceTree<2>(2, 5));
+  auto mesh = Mesh<2>::build(comm, dt);
+  Field phi = mesh.makeField(1), vel = mesh.makeField(2);
+  fem::setByPosition<2>(mesh, phi, 1, [](const VecN<2>& x, Real* v) {
+    v[0] = std::sin(3 * x[0]) + x[1];
+  });
+  fem::setByPosition<2>(mesh, vel, 2, [](const VecN<2>& x, Real* v) {
+    v[0] = x[0] * x[1];
+    v[1] = -x[1];
+  });
+  sim::PerRank<std::vector<Real>> cn(3);
+  for (int r = 0; r < 3; ++r) {
+    cn[r].resize(mesh.rank(r).nElems());
+    for (std::size_t e = 0; e < cn[r].size(); ++e)
+      cn[r][e] = 0.01 * (e % 7);
+  }
+  auto ck = io::makeCheckpoint<2>(dt, mesh,
+                                  {{"phi", {&phi, 1}}, {"vel", {&vel, 2}}},
+                                  {{"cn", &cn}});
+  const std::string path = "/tmp/pt_test_ck.bin";
+  io::saveCheckpoint<2>(path, ck);
+  auto ck2 = io::loadCheckpointFile<2>(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(ck2.writerRanks, 3);
+  ASSERT_EQ(ck2.leaves.size(), ck.leaves.size());
+  EXPECT_TRUE(std::equal(ck.leaves.begin(), ck.leaves.end(),
+                         ck2.leaves.begin()));
+  ASSERT_EQ(ck2.nodal.size(), 2u);
+  EXPECT_EQ(ck2.nodal[0].name, "phi");
+  EXPECT_EQ(ck2.nodal[1].ndof, 2);
+  EXPECT_EQ(ck2.nodal[0].values, ck.nodal[0].values);
+  ASSERT_EQ(ck2.cell.size(), 1u);
+  EXPECT_EQ(ck2.cell[0].values, ck.cell[0].values);
+}
+
+TEST(Checkpoint, RestartOnMoreRanksBitwiseFields) {
+  // Dump on 2 ranks, restart on 5: the paper's Sec II-E scenario. Fields
+  // must be bitwise identical by node key after redistribution.
+  sim::SimComm commA(2, sim::Machine::loopback());
+  auto dtA = DistTree<2>::fromGlobal(commA, interfaceTree<2>(2, 5));
+  auto meshA = Mesh<2>::build(commA, dtA);
+  Field phiA = meshA.makeField(1);
+  fem::setByPosition<2>(meshA, phiA, 1, [](const VecN<2>& x, Real* v) {
+    v[0] = std::sin(9 * x[0]) * std::cos(7 * x[1]);
+  });
+  auto ck = io::makeCheckpoint<2>(dtA, meshA, {{"phi", {&phiA, 1}}});
+
+  sim::SimComm commB(5, sim::Machine::loopback());
+  auto restored = io::restoreCheckpoint<2>(commB, ck, /*redistribute=*/true);
+  EXPECT_EQ(restored.activeRanks, 2);
+  EXPECT_TRUE(restored.tree.globallyLinear());
+  // After redistribution every rank holds a share (activation).
+  int nonEmpty = 0;
+  for (int r = 0; r < 5; ++r)
+    nonEmpty += !restored.tree.localOf(r).empty();
+  EXPECT_EQ(nonEmpty, 5);
+  // Tree content identical.
+  auto a = dtA.gather(), b = restored.tree.gather();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  // Field values bitwise equal by key.
+  ASSERT_EQ(restored.nodal.size(), 1u);
+  const Field& phiB = restored.nodal[0].second;
+  std::map<NodeKey<2>, Real, NodeKeyLess<2>> ref;
+  for (int r = 0; r < 2; ++r) {
+    const auto& rm = meshA.rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li)
+      ref[rm.nodeKeys[li]] = phiA[r][li];
+  }
+  for (int r = 0; r < 5; ++r) {
+    const auto& rm = restored.mesh->rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+      auto it = ref.find(rm.nodeKeys[li]);
+      ASSERT_TRUE(it != ref.end());
+      EXPECT_EQ(phiB[r][li], it->second);  // bitwise
+    }
+  }
+}
+
+TEST(Checkpoint, InactiveRanksStayEmptyWithoutRedistribute) {
+  sim::SimComm commA(2, sim::Machine::loopback());
+  auto dtA = DistTree<2>::fromGlobal(commA, uniformTree<2>(3));
+  auto meshA = Mesh<2>::build(commA, dtA);
+  Field phiA = meshA.makeField(1);
+  auto ck = io::makeCheckpoint<2>(dtA, meshA, {{"phi", {&phiA, 1}}});
+  sim::SimComm commB(6, sim::Machine::loopback());
+  auto restored = io::restoreCheckpoint<2>(commB, ck, /*redistribute=*/false);
+  // Only the active communicator holds data until repartition/remesh.
+  for (int r = 0; r < 2; ++r) EXPECT_FALSE(restored.tree.localOf(r).empty());
+  for (int r = 2; r < 6; ++r) EXPECT_TRUE(restored.tree.localOf(r).empty());
+  // A later repartition activates the inactive ranks.
+  restored.tree.repartition();
+  for (int r = 0; r < 6; ++r) EXPECT_FALSE(restored.tree.localOf(r).empty());
+}
+
+TEST(Checkpoint, RefusesFewerRanks) {
+  sim::SimComm commA(4, sim::Machine::loopback());
+  auto dtA = DistTree<2>::fromGlobal(commA, uniformTree<2>(3));
+  auto meshA = Mesh<2>::build(commA, dtA);
+  auto ck = io::makeCheckpoint<2>(dtA, meshA, {});
+  sim::SimComm commB(2, sim::Machine::loopback());
+  EXPECT_THROW(io::restoreCheckpoint<2>(commB, ck), CheckError);
+}
+
+TEST(Checkpoint, CellFieldsFollowLeavesAcrossRedistribution) {
+  sim::SimComm commA(2, sim::Machine::loopback());
+  auto dtA = DistTree<2>::fromGlobal(commA, interfaceTree<2>(2, 4));
+  auto meshA = Mesh<2>::build(commA, dtA);
+  // Tag each leaf with its own Morton-ish id.
+  sim::PerRank<std::vector<Real>> tag(2);
+  {
+    Real id = 0;
+    for (int r = 0; r < 2; ++r) {
+      tag[r].resize(dtA.localOf(r).size());
+      for (auto& v : tag[r]) v = id++;
+    }
+  }
+  auto ck = io::makeCheckpoint<2>(dtA, meshA, {}, {{"tag", &tag}});
+  sim::SimComm commB(5, sim::Machine::loopback());
+  auto restored = io::restoreCheckpoint<2>(commB, ck, true);
+  ASSERT_EQ(restored.cell.size(), 1u);
+  // The i-th leaf globally must still carry tag i.
+  Real expect = 0;
+  for (int r = 0; r < 5; ++r)
+    for (Real v : restored.cell[0].second[r]) EXPECT_EQ(v, expect++);
+}
+
+}  // namespace
+}  // namespace pt

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/comm.hpp"
+#include "sim/machine.hpp"
+#include "sim/sort.hpp"
+#include "support/rng.hpp"
+
+namespace pt::sim {
+namespace {
+
+TEST(Machine, LogHelpers) {
+  EXPECT_EQ(ceilLog2(1), 0);
+  EXPECT_EQ(ceilLog2(2), 1);
+  EXPECT_EQ(ceilLog2(3), 2);
+  EXPECT_EQ(ceilLog2(1024), 10);
+  EXPECT_EQ(ceilLogK(1, 128), 0);
+  EXPECT_EQ(ceilLogK(128, 128), 1);
+  EXPECT_EQ(ceilLogK(129, 128), 2);
+  // Paper: "at most three stages are required up to 2M processes" (k=128).
+  EXPECT_LE(ceilLogK(2'000'000, 128), 3);
+  EXPECT_EQ(ceilLogK(114'688, 128), 3);
+}
+
+TEST(SimComm, AllreduceAndScan) {
+  SimComm comm(6, Machine::loopback());
+  PerRank<int> vals{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(comm.allreduceSum(vals), 21);
+  EXPECT_EQ(comm.allreduceMax(vals), 6);
+  auto pre = comm.exscan(vals);
+  EXPECT_EQ(pre[0], 0);
+  EXPECT_EQ(pre[5], 15);
+  EXPECT_GT(comm.stats().collectives, 0);
+  EXPECT_GT(comm.time(), 0.0);
+}
+
+TEST(SimComm, BcastDeliversEverywhere) {
+  SimComm comm(4, Machine::loopback());
+  auto got = comm.bcast(std::string("hello"), 0);
+  for (const auto& s : got) EXPECT_EQ(s, "hello");
+}
+
+TEST(SimComm, SparseExchangeDeliversExactPattern) {
+  SimComm comm(5, Machine::loopback());
+  SparseSends<int> sends(5);
+  sends[0].emplace_back(3, std::vector<int>{1, 2, 3});
+  sends[2].emplace_back(3, std::vector<int>{9});
+  sends[4].emplace_back(0, std::vector<int>{7, 7});
+  auto recv = comm.sparseExchange(sends);
+  ASSERT_EQ(recv[3].size(), 2u);
+  EXPECT_EQ(recv[3][0].first, 0);  // sorted by source
+  EXPECT_EQ(recv[3][0].second, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(recv[3][1].first, 2);
+  ASSERT_EQ(recv[0].size(), 1u);
+  EXPECT_EQ(recv[0][0].first, 4);
+  EXPECT_TRUE(recv[1].empty());
+  EXPECT_EQ(comm.stats().messages, 3);
+}
+
+TEST(SimComm, NbxCheaperThanDenseAlltoallAtScale) {
+  // The paper's Sec II-C3c observation: with a sparse pattern, the dense
+  // MPI_Alltoall blows up with p while NBX stays flat.
+  auto cost = [](int p, SimComm::ExchangeAlgo algo) {
+    SimComm comm(p, Machine::frontera());
+    SparseSends<int> sends(p);
+    // Each rank talks to ~8 neighbors (high SFC locality).
+    for (int r = 0; r < p; ++r)
+      for (int j = 1; j <= 8; ++j)
+        sends[r].emplace_back((r + j) % p, std::vector<int>(64, r));
+    comm.sparseExchange(sends, algo);
+    return comm.time();
+  };
+  const double nbxSmall = cost(64, SimComm::ExchangeAlgo::kNbx);
+  const double nbxBig = cost(2048, SimComm::ExchangeAlgo::kNbx);
+  const double denseSmall = cost(64, SimComm::ExchangeAlgo::kDenseAlltoall);
+  const double denseBig = cost(2048, SimComm::ExchangeAlgo::kDenseAlltoall);
+  // NBX grows only logarithmically; dense grows ~linearly in p.
+  EXPECT_LT(nbxBig / nbxSmall, 3.0);
+  EXPECT_GT(denseBig / denseSmall, 8.0);
+  EXPECT_LT(nbxBig, denseBig);
+}
+
+TEST(SimComm, AlltoallvConcatenatesInRankOrder) {
+  SimComm comm(3, Machine::loopback());
+  PerRank<std::vector<std::vector<int>>> sendTo(
+      3, std::vector<std::vector<int>>(3));
+  sendTo[0][2] = {1};
+  sendTo[1][2] = {2, 2};
+  sendTo[2][2] = {3};
+  sendTo[2][0] = {5};
+  auto recv = comm.alltoallv(sendTo, /*staged=*/false);
+  EXPECT_EQ(recv[2], (std::vector<int>{1, 2, 2, 3}));
+  EXPECT_EQ(recv[0], (std::vector<int>{5}));
+  EXPECT_TRUE(recv[1].empty());
+}
+
+TEST(SimComm, StagedAlltoallvSameDataDifferentCost) {
+  auto run = [](bool staged) {
+    SimComm comm(256, Machine::frontera());
+    PerRank<std::vector<std::vector<int>>> sendTo(
+        256, std::vector<std::vector<int>>(256));
+    for (int r = 0; r < 256; ++r) sendTo[r][(r + 1) % 256] = {r};
+    auto recv = comm.alltoallv(sendTo, staged);
+    return std::make_pair(recv, comm.time());
+  };
+  auto [flatData, flatTime] = run(false);
+  auto [stagedData, stagedTime] = run(true);
+  EXPECT_EQ(flatData, stagedData);
+  // Sparse traffic: staged avoids the O(p) latency term.
+  EXPECT_LT(stagedTime, flatTime);
+}
+
+TEST(SimComm, KwayHierarchyMemoized) {
+  SimComm comm(114688, Machine::frontera());
+  const auto& h1 = comm.kwayHierarchy(128);
+  EXPECT_EQ(h1.groupSize.size(), 3u);  // <=3 stages at 114K ranks, k=128
+  const long splits = comm.stats().commSplits;
+  EXPECT_GT(splits, 0);
+  const double t1 = comm.time();
+  const auto& h2 = comm.kwayHierarchy(128);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(comm.stats().commSplits, splits);  // no new splits
+  EXPECT_EQ(comm.stats().commSplitHits, 1);
+  EXPECT_DOUBLE_EQ(comm.time(), t1);  // memoized call is free
+}
+
+TEST(SimComm, BarrierSynchronizesClocks) {
+  SimComm comm(3, Machine::loopback());
+  comm.charge(1, 5.0);
+  comm.barrier();
+  for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(comm.clockOf(r), 5.0);
+}
+
+// ---- Distributed sort -------------------------------------------------------
+
+struct SortCase {
+  int ranks;
+  SortAlgo algo;
+  int n;
+  unsigned seed;
+};
+
+class DistSortP : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(DistSortP, SortsGlobally) {
+  const auto& c = GetParam();
+  SimComm comm(c.ranks, Machine::loopback());
+  Rng rng(c.seed);
+  PerRank<std::vector<long>> data(c.ranks);
+  std::vector<long> all;
+  for (int r = 0; r < c.ranks; ++r) {
+    const int n = static_cast<int>(rng.uniformInt(0, c.n));
+    for (int i = 0; i < n; ++i) {
+      data[r].push_back(rng.uniformInt(-1000000, 1000000));
+      all.push_back(data[r].back());
+    }
+  }
+  distributedSort(comm, data, std::less<long>{}, c.algo);
+  std::vector<long> got;
+  for (int r = 0; r < c.ranks; ++r) {
+    EXPECT_TRUE(std::is_sorted(data[r].begin(), data[r].end()));
+    if (!got.empty() && !data[r].empty()) {
+      EXPECT_LE(got.back(), data[r].front());
+    }
+    got.insert(got.end(), data[r].begin(), data[r].end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(got, all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, DistSortP,
+    ::testing::Values(SortCase{1, SortAlgo::kKway, 100, 1},
+                      SortCase{4, SortAlgo::kKway, 200, 2},
+                      SortCase{4, SortAlgo::kFlat, 200, 3},
+                      SortCase{9, SortAlgo::kKway, 500, 4},
+                      SortCase{9, SortAlgo::kFlat, 500, 5},
+                      SortCase{16, SortAlgo::kKway, 50, 6},
+                      SortCase{3, SortAlgo::kKway, 0, 7}));
+
+TEST(DistSort, AdversarialAllEqualKeys) {
+  SimComm comm(6, Machine::loopback());
+  PerRank<std::vector<int>> data(6, std::vector<int>(100, 7));
+  distributedSort(comm, data, std::less<int>{});
+  std::size_t total = 0;
+  for (const auto& d : data) total += d.size();
+  EXPECT_EQ(total, 600u);
+}
+
+TEST(DistSort, AlreadySortedSkewedInput) {
+  SimComm comm(5, Machine::loopback());
+  PerRank<std::vector<int>> data(5);
+  for (int i = 0; i < 1000; ++i) data[0].push_back(i);  // all on rank 0
+  distributedSort(comm, data, std::less<int>{});
+  std::vector<int> got;
+  for (const auto& d : data) got.insert(got.end(), d.begin(), d.end());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(got[i], i);
+  // Sample-sort should have spread the data around somewhat.
+  EXPECT_LT(data[0].size(), 1000u);
+}
+
+TEST(Rebalance, EqualCountsPreserveOrder) {
+  SimComm comm(4, Machine::loopback());
+  PerRank<std::vector<int>> data(4);
+  for (int i = 0; i < 103; ++i) data[i % 2].push_back(i);
+  // Make globally ordered first.
+  distributedSort(comm, data, std::less<int>{});
+  rebalanceEqual(comm, data);
+  std::vector<int> got;
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(static_cast<double>(data[r].size()), 103.0 / 4, 2.0);
+    got.insert(got.end(), data[r].begin(), data[r].end());
+  }
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got.size(), 103u);
+}
+
+TEST(Rebalance, WeightedSplitsHeavyItems) {
+  SimComm comm(4, Machine::loopback());
+  PerRank<std::vector<int>> data(4);
+  // Items 0..99 on rank 0; weight of item i is 1 except item 0 has 100.
+  for (int i = 0; i < 100; ++i) data[0].push_back(i);
+  rebalanceByWeight(comm, data,
+                    [](int v) { return v == 0 ? 100.0 : 1.0; });
+  // The rank holding the heavy item should hold few items in total.
+  int heavyRank = -1;
+  for (int r = 0; r < 4; ++r)
+    if (!data[r].empty() && data[r][0] == 0) heavyRank = r;
+  ASSERT_GE(heavyRank, 0);
+  EXPECT_LT(data[heavyRank].size(), 20u);
+  std::vector<int> got;
+  for (int r = 0; r < 4; ++r)
+    got.insert(got.end(), data[r].begin(), data[r].end());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(DistSort, KwayCheaperThanFlatAtScale) {
+  // Modeled-cost comparison backing the paper's Sec II-C3a redesign.
+  auto cost = [](int p, SortAlgo algo) {
+    SimComm comm(p, Machine::frontera());
+    PerRank<std::vector<long>> data(p);
+    Rng rng(5);
+    for (int r = 0; r < p; ++r)
+      for (int i = 0; i < 64; ++i) data[r].push_back(rng.uniformInt(0, 1 << 30));
+    distributedSort(comm, data, std::less<long>{}, algo);
+    return comm.time();
+  };
+  EXPECT_LT(cost(1024, SortAlgo::kKway), cost(1024, SortAlgo::kFlat));
+}
+
+}  // namespace
+}  // namespace pt::sim
