@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_multilevel_remesh.dir/abl1_multilevel_remesh.cpp.o"
+  "CMakeFiles/abl1_multilevel_remesh.dir/abl1_multilevel_remesh.cpp.o.d"
+  "abl1_multilevel_remesh"
+  "abl1_multilevel_remesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_multilevel_remesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl1_multilevel_remesh.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_sparse_exchange.dir/abl2_sparse_exchange.cpp.o"
+  "CMakeFiles/abl2_sparse_exchange.dir/abl2_sparse_exchange.cpp.o.d"
+  "abl2_sparse_exchange"
+  "abl2_sparse_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_sparse_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

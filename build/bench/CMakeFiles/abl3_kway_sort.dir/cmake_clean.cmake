@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_kway_sort.dir/abl3_kway_sort.cpp.o"
+  "CMakeFiles/abl3_kway_sort.dir/abl3_kway_sort.cpp.o.d"
+  "abl3_kway_sort"
+  "abl3_kway_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_kway_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

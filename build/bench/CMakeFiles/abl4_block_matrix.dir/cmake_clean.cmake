@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_block_matrix.dir/abl4_block_matrix.cpp.o"
+  "CMakeFiles/abl4_block_matrix.dir/abl4_block_matrix.cpp.o.d"
+  "abl4_block_matrix"
+  "abl4_block_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_block_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

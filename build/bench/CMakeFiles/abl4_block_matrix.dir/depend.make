@@ -1,0 +1,2 @@
+# Empty dependencies file for abl4_block_matrix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_gmg_pressure.dir/abl5_gmg_pressure.cpp.o"
+  "CMakeFiles/abl5_gmg_pressure.dir/abl5_gmg_pressure.cpp.o.d"
+  "abl5_gmg_pressure"
+  "abl5_gmg_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_gmg_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

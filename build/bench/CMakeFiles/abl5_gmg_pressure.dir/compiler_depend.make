@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl5_gmg_pressure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_region_identification.dir/fig1_region_identification.cpp.o"
+  "CMakeFiles/fig1_region_identification.dir/fig1_region_identification.cpp.o.d"
+  "fig1_region_identification"
+  "fig1_region_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_region_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_zip_assembly.dir/fig23_zip_assembly.cpp.o"
+  "CMakeFiles/fig23_zip_assembly.dir/fig23_zip_assembly.cpp.o.d"
+  "fig23_zip_assembly"
+  "fig23_zip_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_zip_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_matvec_strong.dir/fig4a_matvec_strong.cpp.o"
+  "CMakeFiles/fig4a_matvec_strong.dir/fig4a_matvec_strong.cpp.o.d"
+  "fig4a_matvec_strong"
+  "fig4a_matvec_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_matvec_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_matvec_weak.dir/fig4b_matvec_weak.cpp.o"
+  "CMakeFiles/fig4b_matvec_weak.dir/fig4b_matvec_weak.cpp.o.d"
+  "fig4b_matvec_weak"
+  "fig4b_matvec_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_matvec_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig67_jet_atomization.dir/fig67_jet_atomization.cpp.o"
+  "CMakeFiles/fig67_jet_atomization.dir/fig67_jet_atomization.cpp.o.d"
+  "fig67_jet_atomization"
+  "fig67_jet_atomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig67_jet_atomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig67_jet_atomization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_element_fraction.dir/fig8_element_fraction.cpp.o"
+  "CMakeFiles/fig8_element_fraction.dir/fig8_element_fraction.cpp.o.d"
+  "fig8_element_fraction"
+  "fig8_element_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_element_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jet_atomization.dir/jet_atomization.cpp.o"
+  "CMakeFiles/jet_atomization.dir/jet_atomization.cpp.o.d"
+  "jet_atomization"
+  "jet_atomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jet_atomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rayleigh_taylor.dir/rayleigh_taylor.cpp.o"
+  "CMakeFiles/rayleigh_taylor.dir/rayleigh_taylor.cpp.o.d"
+  "rayleigh_taylor"
+  "rayleigh_taylor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rayleigh_taylor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rayleigh_taylor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_identification.dir/region_identification.cpp.o"
+  "CMakeFiles/region_identification.dir/region_identification.cpp.o.d"
+  "region_identification"
+  "region_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

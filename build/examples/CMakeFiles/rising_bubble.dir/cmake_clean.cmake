@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rising_bubble.dir/rising_bubble.cpp.o"
+  "CMakeFiles/rising_bubble.dir/rising_bubble.cpp.o.d"
+  "rising_bubble"
+  "rising_bubble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rising_bubble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

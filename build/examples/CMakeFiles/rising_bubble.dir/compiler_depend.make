@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rising_bubble.
+# This may be replaced when dependencies are built.

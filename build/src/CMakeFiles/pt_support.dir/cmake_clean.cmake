@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pt_support.dir/support/log.cpp.o"
+  "CMakeFiles/pt_support.dir/support/log.cpp.o.d"
+  "libpt_support.a"
+  "libpt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

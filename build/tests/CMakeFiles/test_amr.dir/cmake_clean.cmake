@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amr.dir/test_amr.cpp.o"
+  "CMakeFiles/test_amr.dir/test_amr.cpp.o.d"
+  "test_amr"
+  "test_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

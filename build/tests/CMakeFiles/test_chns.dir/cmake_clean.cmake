@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chns.dir/test_chns.cpp.o"
+  "CMakeFiles/test_chns.dir/test_chns.cpp.o.d"
+  "test_chns"
+  "test_chns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

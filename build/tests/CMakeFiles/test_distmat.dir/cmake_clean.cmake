@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distmat.dir/test_distmat.cpp.o"
+  "CMakeFiles/test_distmat.dir/test_distmat.cpp.o.d"
+  "test_distmat"
+  "test_distmat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distmat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fem.dir/test_fem.cpp.o"
+  "CMakeFiles/test_fem.dir/test_fem.cpp.o.d"
+  "test_fem"
+  "test_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmg.dir/test_gmg.cpp.o"
+  "CMakeFiles/test_gmg.dir/test_gmg.cpp.o.d"
+  "test_gmg"
+  "test_gmg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intergrid.dir/test_intergrid.cpp.o"
+  "CMakeFiles/test_intergrid.dir/test_intergrid.cpp.o.d"
+  "test_intergrid"
+  "test_intergrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intergrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

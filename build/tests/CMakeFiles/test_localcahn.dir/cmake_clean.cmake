@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localcahn.dir/test_localcahn.cpp.o"
+  "CMakeFiles/test_localcahn.dir/test_localcahn.cpp.o.d"
+  "test_localcahn"
+  "test_localcahn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localcahn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_octree.dir/test_octree.cpp.o"
+  "CMakeFiles/test_octree.dir/test_octree.cpp.o.d"
+  "test_octree"
+  "test_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
