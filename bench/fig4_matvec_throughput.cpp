@@ -1,0 +1,162 @@
+// MATVEC throughput (elements/sec) across the engine variants introduced
+// with the traversal plans (paper Sec II-D / Fig 4 territory, single node):
+//
+//   naive            one element at a time, weighted gather/scatter for
+//                    every corner, type-erased std::function kernel
+//   planned          plan-aware traversal (pure fast path), kernel inlined
+//                    through the template parameter
+//   planned+batched  per-level cached A_e = B^T D B applied to uniform-level
+//                    batches as panel GEMMs (matvecUniform)
+//   planned+batched+threads
+//                    matvecUniform with the pool at 4 threads
+//
+// Operator: Helmholtz-type massCoef*M + stiffCoef*K, ndof = 5, on a 3D
+// adaptive mesh with hanging corners. Wrap with bench/run_matvec_bench.sh
+// to dump BENCH_matvec.json.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "fem/matvec.hpp"
+#include "fem/matvec_batched.hpp"
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace pt;
+
+constexpr int kNdof = 5;
+constexpr Real kMass = 1.3, kStiff = 0.7;
+
+sim::SimComm& comm() {
+  static sim::SimComm c(1, sim::Machine::loopback());
+  return c;
+}
+
+Mesh<3>& mesh() {
+  static Mesh<3> m = [] {
+    OctList<3> tree;
+    buildTree<3>(
+        Octant<3>::root(),
+        [](const Octant<3>& o) -> Level {
+          auto c = o.centerCoords();
+          Real r2 = 0;
+          for (int d = 0; d < 3; ++d) r2 += (c[d] - 0.5) * (c[d] - 0.5);
+          const Real dist = std::abs(std::sqrt(r2) - 0.3);
+          return dist < 2.0 * o.physSize() ? 5 : 2;
+        },
+        tree);
+    tree = balanceTree(tree);
+    auto dt = DistTree<3>::fromGlobal(comm(), tree);
+    return Mesh<3>::build(comm(), dt);
+  }();
+  return m;
+}
+
+std::size_t totalElems() {
+  std::size_t n = 0;
+  for (int r = 0; r < mesh().nRanks(); ++r) n += mesh().rank(r).nElems();
+  return n;
+}
+
+Field& input() {
+  static Field x = [] {
+    Field f = mesh().makeField(kNdof);
+    fem::setByPosition<3>(mesh(), f, kNdof, [](const VecN<3>& pos, Real* out) {
+      Real s = 0;
+      for (int d = 0; d < 3; ++d) s += (d + 1.0) * pos[d];
+      for (int d = 0; d < kNdof; ++d) out[d] = std::sin(3.0 * s + d);
+    });
+    return f;
+  }();
+  return x;
+}
+
+/// The pre-plan style kernel: per-dof closed-form mass + stiffness applies.
+void helmholtz(const Octant<3>& oct, const Real* in, Real* out) {
+  constexpr int kC = kNumChildren<3>;
+  Real col[kC], res[kC];
+  for (int d = 0; d < kNdof; ++d) {
+    for (int i = 0; i < kC; ++i) {
+      col[i] = in[i * kNdof + d];
+      res[i] = 0.0;
+    }
+    fem::applyMass<3>(oct.physSize(), col, res);
+    for (int i = 0; i < kC; ++i) out[i * kNdof + d] += kMass * res[i];
+    for (int i = 0; i < kC; ++i) res[i] = 0.0;
+    fem::applyStiffness<3>(oct.physSize(), col, res);
+    for (int i = 0; i < kC; ++i) out[i * kNdof + d] += kStiff * res[i];
+  }
+}
+
+void BM_MatvecNaive(benchmark::State& state) {
+  Field y = mesh().makeField(kNdof);
+  const fem::ElemKernel<3> kernel = helmholtz;  // type-erased, as before
+  for (auto _ : state) {
+    fem::matvecNaive<3>(mesh(), input(), y, kNdof, kernel);
+    benchmark::DoNotOptimize(y[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * totalElems());
+}
+BENCHMARK(BM_MatvecNaive)->Unit(benchmark::kMillisecond);
+
+void BM_MatvecPlanned(benchmark::State& state) {
+  Field y = mesh().makeField(kNdof);
+  // Lambda, not function pointer: the kernel inlines through the template.
+  auto kernel = [](const Octant<3>& oct, const Real* in, Real* out) {
+    helmholtz(oct, in, out);
+  };
+  for (auto _ : state) {
+    fem::matvec<3>(mesh(), input(), y, kNdof, kernel);
+    benchmark::DoNotOptimize(y[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * totalElems());
+}
+BENCHMARK(BM_MatvecPlanned)->Unit(benchmark::kMillisecond);
+
+void BM_MatvecPlannedBatched(benchmark::State& state) {
+  Field y = mesh().makeField(kNdof);
+  for (auto _ : state) {
+    fem::matvecUniform<3>(mesh(), input(), y, kNdof, kMass, kStiff);
+    benchmark::DoNotOptimize(y[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * totalElems());
+}
+BENCHMARK(BM_MatvecPlannedBatched)->Unit(benchmark::kMillisecond);
+
+void BM_MatvecPlannedBatchedThreads(benchmark::State& state) {
+  auto& pool = support::ThreadPool::instance();
+  pool.setThreads(static_cast<int>(state.range(0)));
+  Field y = mesh().makeField(kNdof);
+  for (auto _ : state) {
+    fem::matvecUniform<3>(mesh(), input(), y, kNdof, kMass, kStiff);
+    benchmark::DoNotOptimize(y[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() * totalElems());
+  pool.setThreads(1);
+}
+BENCHMARK(BM_MatvecPlannedBatchedThreads)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main so a PT_MATVEC_TIMERS build (the `profile` preset) prints the
+// per-phase breakdown accumulated across all benchmark iterations.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+#ifdef PT_MATVEC_TIMERS
+  std::printf("\nMATVEC phase breakdown (all variants pooled):\n");
+  for (const auto& [name, t] : pt::fem::matvecTimers().all())
+    std::printf("  %-12s %10.3f s  (%ld calls)\n", name.c_str(), t.seconds(),
+                t.calls());
+#endif
+  return 0;
+}

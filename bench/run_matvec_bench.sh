@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the MATVEC throughput benchmark and dumps BENCH_matvec.json next to
+# the current directory. Extra arguments are passed to the benchmark binary.
+#
+#   BUILD_DIR=build ./bench/run_matvec_bench.sh [--benchmark_filter=...]
+set -euo pipefail
+
+BUILD_DIR=${BUILD_DIR:-build}
+BIN="$BUILD_DIR/bench/fig4_matvec_throughput"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target fig4_matvec_throughput)" >&2
+  exit 1
+fi
+
+exec "$BIN" \
+  --benchmark_out=BENCH_matvec.json \
+  --benchmark_out_format=json \
+  "$@"

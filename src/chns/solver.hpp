@@ -354,11 +354,14 @@ class ChnsSolver {
     constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
 
     auto residual = [&, dt](const Field& u, Field& F) {
-      std::vector<Real> po(kC), vo(kC * DIM);
       fem::matvecIndexed<DIM>(
           *mesh_, u, F, 2,
           [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
                   const Real* in, Real* out) {
+            // Scratch lives in the kernel so concurrent elements (threaded
+            // engine) don't share it.
+            std::array<Real, kC> po;
+            std::array<Real, std::size_t(kC) * DIM> vo;
             const RankMesh<DIM>& rm = mesh_->rank(r);
             fem::gatherElem(rm, e, phiOld[r], 1, po.data());
             fem::gatherElem(rm, e, velOld[r], DIM, vo.data());
@@ -400,11 +403,12 @@ class ChnsSolver {
     auto makeJ = [&, dt](const Field& u) -> la::LinOp<Field> {
       return [this, dt, u, &quad, &bt](const Field& x, Field& y) {
         const Params& P = opt_.params;
-        std::vector<Real> uu(kC * 2), vo(kC * DIM);
         fem::matvecIndexed<DIM>(
             *mesh_, x, y, 2,
             [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
                     const Real* in, Real* out) {
+              std::array<Real, std::size_t(kC) * 2> uu;
+              std::array<Real, std::size_t(kC) * DIM> vo;
               const RankMesh<DIM>& rm = mesh_->rank(r);
               fem::gatherElem(rm, e, u[r], 2, uu.data());
               fem::gatherElem(rm, e, velOldRef_->at(r), DIM, vo.data());
@@ -520,11 +524,12 @@ class ChnsSolver {
     };
 
     la::LinOp<Field> Araw = [&, dt](const Field& x, Field& y) {
-      std::vector<Real> ph(kC), muv(kC), vo(kC * DIM);
       fem::matvecIndexed<DIM>(
           *mesh_, x, y, DIM,
           [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
                   const Real* in, Real* out) {
+            std::array<Real, kC> ph, muv;
+            std::array<Real, std::size_t(kC) * DIM> vo;
             const RankMesh<DIM>& rm = mesh_->rank(r);
             fem::gatherElem(rm, e, phi_[r], 1, ph.data());
             fem::gatherElem(rm, e, mu_[r], 1, muv.data());
@@ -661,11 +666,11 @@ class ChnsSolver {
     constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
 
     la::LinOp<Field> A = [&, dt](const Field& x, Field& y) {
-      std::vector<Real> ph(kC);
       fem::matvecIndexed<DIM>(
           *mesh_, x, y, 1,
           [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
                   const Real* in, Real* out) {
+            std::array<Real, kC> ph;
             const RankMesh<DIM>& rm = mesh_->rank(r);
             fem::gatherElem(rm, e, phi_[r], 1, ph.data());
             const Real h = oct.physSize();

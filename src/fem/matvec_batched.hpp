@@ -1,0 +1,234 @@
+// Batched GEMM MATVEC for uniform-coefficient operators (paper Sec II-D,
+// Fig 4): instead of re-deriving the elemental action at every element, the
+// dense elemental matrix A_e = B^T D B is assembled once per octree *level*
+// (A_e depends only on the element size h and the mass/stiffness
+// coefficients) and applied to whole batches of pure elements at a time.
+//
+// The plan's batches are uniform-level runs of pure elements, so one batch
+// shares a single A_e. The gather zips the batch's element vectors into a
+// contiguous dof-major panel X (kNodes rows x batchElems*ndof columns,
+// column (e, d) holding dof d of element e — exactly the GEMM tile the zip
+// layout was built for), the apply is one dense kN x kN GEMM streaming
+// unit-stride across the panel, and the scatter adds the result panel back
+// through the plan's flat node indices. Hanging elements fall back to
+// zipVec + per-dof GEMV with the same cached A_e, then the weighted
+// scatter.
+//
+// Accuracy contract: this path REASSOCIATES floating point relative to the
+// per-element engine (panel GEMM sums in a different order; the coefficient
+// folding in A_e differs from applyMass/applyStiffness's scale-after-sum),
+// so results agree with matvec()/matvecNaive() to roundoff (~1e-13 rel),
+// not bit-for-bit. Threading splits batches into static partitions with a
+// private output buffer per partition and reduces them in fixed partition
+// order, so for a fixed thread count results are deterministic run-to-run;
+// across different thread counts the reduction order changes and results
+// again agree only to roundoff. Callers that need bit-identity use the
+// planned per-element engine in matvec.hpp.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "fem/layout.hpp"
+#include "fem/matvec.hpp"
+#include "mesh/mesh.hpp"
+#include "support/thread_pool.hpp"
+
+namespace pt::fem {
+
+/// Per-level cache of the dense elemental operator A_e = B^T D B for a
+/// mass/stiffness combination. Levels are filled on demand (sequentially,
+/// before any threaded use) and then shared read-only across partitions.
+template <int DIM>
+class LevelOperatorCache {
+ public:
+  LevelOperatorCache(Real massCoef, Real stiffCoef)
+      : massCoef_(massCoef), stiffCoef_(stiffCoef) {}
+
+  /// Assembles (if needed) and returns A_e for elements at `level`. Not
+  /// thread-safe; call from the coordinating thread only.
+  const ElemMat<DIM>& at(Level level) {
+    if (!built_[level]) {
+      const Real h =
+          static_cast<Real>(1u << (kMaxLevel - level)) / kMaxCoord;
+      ops_[level] = {};
+      assembleGemmOperator<DIM>(h, massCoef_, stiffCoef_, ops_[level].data());
+      built_[level] = true;
+    }
+    return ops_[level];
+  }
+
+ private:
+  Real massCoef_, stiffCoef_;
+  std::array<bool, kMaxLevel + 1> built_{};
+  std::array<ElemMat<DIM>, kMaxLevel + 1> ops_{};
+};
+
+namespace matvecdetail {
+
+// The panel loops below only vectorize at -O3 (GCC's -O2 cost model skips
+// them); scope that to this one function instead of changing global flags.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("O3")
+#endif
+
+/// Applies batches [b0, b1) of one rank's plan into yb. X/Y panel scratch
+/// is local, so concurrent calls on disjoint batch ranges are independent.
+template <int DIM>
+void applyBatchRange(const RankMesh<DIM>& rm,
+                     const std::array<const Real*, kMaxLevel + 1>& opsByLevel,
+                     const std::vector<Real>& x, std::vector<Real>& yb,
+                     int ndof, std::size_t b0, std::size_t b1) {
+  constexpr int kN = kNodes<DIM>;
+  const ElemPlan& plan = rm.plan;
+  std::vector<Real> X(std::size_t(kN) * kMatvecBatch * ndof);
+  std::vector<Real> Y(std::size_t(kN) * kMatvecBatch * ndof);
+  PT_MV_TIMER(tg, "gather");
+  PT_MV_TIMER(tk, "kernel");
+  PT_MV_TIMER(ts, "scatter");
+  for (std::size_t b = b0; b < b1; ++b) {
+    const ElemPlanBatch& batch = plan.batches[b];
+    const int m = static_cast<int>(batch.end - batch.begin);
+    const int cols = m * ndof;
+    const Real* A = opsByLevel[batch.level];
+    // Gather: zip corner values into the dof-major panel, column (e, d).
+    PT_MV_START(tg);
+    for (int ei = 0; ei < m; ++ei) {
+      const std::uint32_t* nodes =
+          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
+      for (int j = 0; j < kN; ++j) {
+        const Real* src = &x[std::size_t(nodes[j]) * ndof];
+        Real* dst = &X[std::size_t(j) * cols + std::size_t(ei) * ndof];
+        for (int d = 0; d < ndof; ++d) dst[d] = src[d];
+      }
+    }
+    PT_MV_STOP(tg);
+    // Kernel: Y = A * X, one dense GEMM streaming across the panel (first
+    // rank-1 term stores, the rest accumulate — no separate zero pass).
+    // __restrict__ lets -O2 vectorize the column loops without runtime
+    // alias checks (X and Y are distinct local panels by construction).
+    PT_MV_START(tk);
+    for (int i = 0; i < kN; ++i) {
+      Real* __restrict__ Yi = &Y[std::size_t(i) * cols];
+      const Real* __restrict__ Ai = &A[std::size_t(i) * kN];
+      {
+        const Real a = Ai[0];
+        const Real* __restrict__ X0 = &X[0];
+        for (int c = 0; c < cols; ++c) Yi[c] = a * X0[c];
+      }
+      for (int j = 1; j < kN; ++j) {
+        const Real a = Ai[j];
+        const Real* __restrict__ Xj = &X[std::size_t(j) * cols];
+        for (int c = 0; c < cols; ++c) Yi[c] += a * Xj[c];
+      }
+    }
+    PT_MV_STOP(tk);
+    // Scatter: add the result panel back through the flat node indices.
+    PT_MV_START(ts);
+    for (int ei = 0; ei < m; ++ei) {
+      const std::uint32_t* nodes =
+          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
+      for (int j = 0; j < kN; ++j) {
+        Real* dst = &yb[std::size_t(nodes[j]) * ndof];
+        const Real* src = &Y[std::size_t(j) * cols + std::size_t(ei) * ndof];
+        for (int d = 0; d < ndof; ++d) dst[d] += src[d];
+      }
+    }
+    PT_MV_STOP(ts);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
+
+}  // namespace matvecdetail
+
+/// Batched MATVEC for the uniform-coefficient operator
+///   y = (massCoef * M + stiffCoef * K) x      (applied per scalar dof)
+/// — the operator family behind massMatvec, stiffnessMatvec, and the
+/// Helmholtz-type solves. `x` must be ghost-consistent; `y` is overwritten
+/// and ends consistent. See the header comment for the accuracy and
+/// determinism contract relative to the per-element engine.
+template <int DIM>
+void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
+                   Real massCoef, Real stiffCoef) {
+  constexpr int kN = kNodes<DIM>;
+  const int p = mesh.nRanks();
+  auto& pool = support::ThreadPool::instance();
+  matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    const ElemPlan& plan = rm.plan;
+    PT_CHECK(plan.isPure.size() == rm.nElems());
+    std::vector<Real>& yr = y[r];
+    yr.assign(rm.nNodes() * ndof, 0.0);
+
+    // Assemble every needed A_e up front (sequentially) so the batch loop
+    // only ever reads the cache.
+    LevelOperatorCache<DIM> cache(massCoef, stiffCoef);
+    std::array<const Real*, kMaxLevel + 1> opsByLevel{};
+    for (const ElemPlanBatch& b : plan.batches)
+      opsByLevel[b.level] = cache.at(b.level).data();
+    for (std::uint32_t e : plan.hangingElems) {
+      const Level lvl = rm.elems[e].level;
+      opsByLevel[lvl] = cache.at(lvl).data();
+    }
+
+    const int nParts =
+        (innerThreads && plan.batches.size() > 1) ? pool.threads() : 1;
+    if (nParts <= 1) {
+      matvecdetail::applyBatchRange(rm, opsByLevel, x[r], yr, ndof, 0,
+                                    plan.batches.size());
+    } else {
+      // Partition-private outputs, reduced in fixed partition order: the
+      // result depends only on (nBatches, thread count), not scheduling.
+      std::vector<std::vector<Real>> priv(nParts - 1);
+      pool.parallelFor(
+          plan.batches.size(), [&](int part, std::size_t b0, std::size_t b1) {
+            std::vector<Real>& out =
+                part == 0 ? yr
+                          : (priv[part - 1].assign(yr.size(), 0.0),
+                             priv[part - 1]);
+            matvecdetail::applyBatchRange(rm, opsByLevel, x[r], out, ndof, b0,
+                                          b1);
+          });
+      pool.parallelFor(yr.size(), [&](int, std::size_t i0, std::size_t i1) {
+        for (const std::vector<Real>& pb : priv) {
+          if (pb.empty()) continue;  // partition had no batches
+          for (std::size_t i = i0; i < i1; ++i) yr[i] += pb[i];
+        }
+      });
+    }
+
+    // Hanging elements: weighted gather, zip, per-dof GEMV with the same
+    // cached A_e, unzip, weighted scatter.
+    std::vector<Real> uLoc(std::size_t(kN) * ndof), rLoc(std::size_t(kN) * ndof);
+    std::vector<Real> zin(std::size_t(kN) * ndof), zout(std::size_t(kN) * ndof);
+    for (std::uint32_t e : plan.hangingElems) {
+      gatherElem(rm, e, x[r], ndof, uLoc.data());
+      const Real* A = opsByLevel[rm.elems[e].level];
+      zipVec(uLoc.data(), zin.data(), kN, ndof);
+      for (int d = 0; d < ndof; ++d) {
+        const Real* zi = &zin[std::size_t(d) * kN];
+        Real* zo = &zout[std::size_t(d) * kN];
+        for (int i = 0; i < kN; ++i) {
+          Real acc = 0;
+          const Real* Ai = &A[std::size_t(i) * kN];
+          for (int j = 0; j < kN; ++j) acc += Ai[j] * zi[j];
+          zo[i] = acc;
+        }
+      }
+      unzipVec(zout.data(), rLoc.data(), kN, ndof);
+      scatterAddElem(rm, e, rLoc.data(), ndof, yr);
+    }
+
+    mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
+  });
+  PT_MV_TIMER(ta, "accumulate");
+  PT_MV_START(ta);
+  mesh.accumulate(y, ndof);
+  PT_MV_STOP(ta);
+}
+
+}  // namespace pt::fem

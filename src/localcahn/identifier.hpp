@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cmath>
-#include <functional>
 #include <vector>
 
 #include "fem/matvec.hpp"

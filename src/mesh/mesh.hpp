@@ -41,6 +41,46 @@ struct NodeSupport {
   Real weight;
 };
 
+/// Elements per MATVEC batch: sized so one gathered dof-major panel
+/// (kCorners * kMatvecBatch * ndof doubles) plus its result panel stay
+/// L1-resident for the common 3D ndof <= 5 operators.
+inline constexpr std::uint32_t kMatvecBatch = 32;
+
+/// A contiguous run of pure elements (indices into ElemPlan::pureElems)
+/// sharing one octree level, i.e. one element size h — so a single
+/// precomputed elemental matrix applies to the whole batch.
+struct ElemPlanBatch {
+  std::uint32_t begin = 0, end = 0;  ///< range in ElemPlan::pureElems
+  Level level = 0;
+};
+
+/// Precomputed traversal plan for the MATVEC engine (built once per
+/// RankMesh at mesh construction; meshes are immutable, so a remesh
+/// rebuilds the plan with the new RankMesh).
+///
+/// Elements are split into a *pure* set — every corner has exactly one
+/// support with weight 1, so gather/scatter are direct indexed copies with
+/// no weight multiplies — and a *hanging* set that keeps the weighted
+/// support walk. The vast majority of elements are pure (hanging corners
+/// only appear along refinement-level transitions), so the fast path
+/// dominates. Pure elements are additionally ordered by (level, element
+/// index) and grouped into cache-sized batches of uniform level for the
+/// batched GEMM apply path.
+struct ElemPlan {
+  std::vector<char> isPure;              ///< per element
+  std::vector<std::uint32_t> slot;       ///< per element: index into
+                                         ///< pureElems or hangingElems
+  std::vector<std::uint32_t> pureElems;  ///< sorted by (level, elem index)
+  std::vector<std::uint32_t> pureNodes;  ///< kCorners node ids per pure slot
+  std::vector<std::uint32_t> hangingElems;  ///< ascending element index
+  std::vector<ElemPlanBatch> batches;       ///< cover pureElems exactly
+  std::vector<std::uint32_t> batchOf;       ///< per pure slot: batch index
+
+  bool built() const { return !slot.empty() || isPure.empty(); }
+  std::size_t nPure() const { return pureElems.size(); }
+  std::size_t nHanging() const { return hangingElems.size(); }
+};
+
 /// The per-rank portion of a distributed mesh.
 template <int DIM>
 struct RankMesh {
@@ -63,6 +103,9 @@ struct RankMesh {
   /// the two sides align element-wise.
   std::vector<std::pair<Rank, std::vector<std::int32_t>>> mirror;
   std::vector<std::pair<Rank, std::vector<std::int32_t>>> ghosts;
+
+  /// MATVEC traversal plan (pure/hanging split + batches); see ElemPlan.
+  ElemPlan plan;
 
   std::size_t nNodes() const { return nodeKeys.size(); }
   std::size_t nElems() const { return elems.size(); }
@@ -183,6 +226,69 @@ CellAnswer<DIM> answerCellQuery(
 }
 
 }  // namespace meshdetail
+
+/// Builds the MATVEC traversal plan for one rank (see ElemPlan). O(nElems *
+/// kCorners); called from Mesh::build, exposed for tests and for callers
+/// that assemble a RankMesh by hand.
+template <int DIM>
+void buildElemPlan(RankMesh<DIM>& rm) {
+  constexpr int kC = kNumChildren<DIM>;
+  ElemPlan& plan = rm.plan;
+  const std::size_t n = rm.nElems();
+  plan = ElemPlan{};
+  plan.isPure.assign(n, 0);
+  plan.slot.assign(n, 0);
+
+  for (std::size_t e = 0; e < n; ++e) {
+    bool pure = true;
+    for (int c = 0; c < kC && pure; ++c) {
+      const std::uint32_t lo = rm.cornerOffset[e * kC + c];
+      const std::uint32_t hi = rm.cornerOffset[e * kC + c + 1];
+      pure = (hi - lo == 1) && (rm.supports[lo].weight == 1.0);
+    }
+    plan.isPure[e] = pure ? 1 : 0;
+    if (!pure)
+      plan.hangingElems.push_back(static_cast<std::uint32_t>(e));
+  }
+
+  // Pure elements sorted by (level, element index): uniform-level runs give
+  // the batched apply one elemental matrix per batch; the secondary index
+  // order keeps the traversal cache-friendly within a level.
+  plan.pureElems.reserve(n - plan.hangingElems.size());
+  for (std::size_t e = 0; e < n; ++e)
+    if (plan.isPure[e]) plan.pureElems.push_back(static_cast<std::uint32_t>(e));
+  std::stable_sort(plan.pureElems.begin(), plan.pureElems.end(),
+                   [&rm](std::uint32_t a, std::uint32_t b) {
+                     return rm.elems[a].level < rm.elems[b].level;
+                   });
+
+  plan.pureNodes.resize(plan.pureElems.size() * kC);
+  for (std::size_t i = 0; i < plan.pureElems.size(); ++i) {
+    const std::uint32_t e = plan.pureElems[i];
+    plan.slot[e] = static_cast<std::uint32_t>(i);
+    for (int c = 0; c < kC; ++c)
+      plan.pureNodes[i * kC + c] = static_cast<std::uint32_t>(
+          rm.supports[rm.cornerOffset[e * kC + c]].node);
+  }
+  for (std::size_t i = 0; i < plan.hangingElems.size(); ++i)
+    plan.slot[plan.hangingElems[i]] = static_cast<std::uint32_t>(i);
+
+  // Cache-sized batches of uniform level over the sorted pure list.
+  plan.batchOf.resize(plan.pureElems.size());
+  std::size_t i = 0;
+  while (i < plan.pureElems.size()) {
+    const Level lvl = rm.elems[plan.pureElems[i]].level;
+    std::size_t j = i;
+    while (j < plan.pureElems.size() && j - i < kMatvecBatch &&
+           rm.elems[plan.pureElems[j]].level == lvl)
+      ++j;
+    for (std::size_t k = i; k < j; ++k)
+      plan.batchOf[k] = static_cast<std::uint32_t>(plan.batches.size());
+    plan.batches.push_back({static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(j), lvl});
+    i = j;
+  }
+}
 
 template <int DIM>
 Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
@@ -474,6 +580,12 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
       if (!mir[q].empty()) rm.mirror.emplace_back(q, std::move(mir[q]));
       if (!gho[q].empty()) rm.ghosts.emplace_back(q, std::move(gho[q]));
     }
+  }
+
+  // ---- Phase 6: MATVEC traversal plans (local, no communication) -----------
+  for (int r = 0; r < p; ++r) {
+    buildElemPlan(mesh.ranks_[r]);
+    comm.chargeWork(r, 2.0 * kC * mesh.ranks_[r].nElems());
   }
   return mesh;
 }

@@ -1,0 +1,186 @@
+// A small reusable worker pool for intra-process parallelism (the MATVEC
+// engine's per-rank and per-batch loops). Design goals, in order:
+//
+//  1. Determinism: parallelFor splits the index range into *static*
+//     contiguous partitions, one per participant, computed from the range
+//     size alone. Which OS thread executes a partition is irrelevant to the
+//     result as long as callers key scratch/output off the partition index
+//     (not the thread id) — there is no work stealing and no atomic
+//     tie-breaking, so a given (n, threads()) pair always yields the same
+//     partition geometry.
+//  2. Opt-in: compiled out to a serial stub unless PT_THREADS is defined
+//     (CMake option, ON by default); even then the pool starts with one
+//     participant unless PT_NUM_THREADS is set in the environment or
+//     setThreads() is called. A single-participant pool never spawns
+//     threads and runs partitions inline, so default builds and runs behave
+//     exactly like the pre-pool code.
+//  3. Re-entrancy safety: parallelFor called from inside a worker (nested
+//     parallelism) degrades to inline serial execution instead of
+//     deadlocking on the pool's own queue.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <utility>
+
+#ifdef PT_THREADS
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+#endif
+
+namespace pt::support {
+
+#ifdef PT_THREADS
+
+class ThreadPool {
+ public:
+  /// The process-wide pool used by the MATVEC engine.
+  static ThreadPool& instance() {
+    static ThreadPool pool(envThreads());
+    return pool;
+  }
+
+  /// Number of participants (>= 1). 1 means fully serial.
+  int threads() const { return nThreads_; }
+
+  /// Resizes the pool. n <= 1 tears all workers down (serial mode).
+  void setThreads(int n) {
+    if (n < 1) n = 1;
+    if (n == nThreads_) return;
+    stopWorkers();
+    nThreads_ = n;
+    startWorkers();
+  }
+
+  ~ThreadPool() { stopWorkers(); }
+
+  /// Runs fn(part, begin, end) over a static partition of [0, n) into
+  /// threads() contiguous parts (empty parts are skipped). Part 0 runs on
+  /// the calling thread; parts 1.. run on the workers. Blocks until all
+  /// parts finish. Nested calls (from inside a worker) run serially inline.
+  template <typename F>
+  void parallelFor(std::size_t n, F&& fn) {
+    const int parts = nThreads_;
+    if (n == 0) return;
+    if (parts <= 1 || inWorker_) {
+      fn(0, std::size_t{0}, n);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ = [&fn, n, parts](int part) {
+        const auto [b, e] = partition(n, parts, part);
+        if (b < e) fn(part, b, e);
+      };
+      pendingParts_ = parts - 1;
+      ++generation_;
+    }
+    cv_.notify_all();
+    job_(0);  // the caller is participant 0
+    std::unique_lock<std::mutex> lock(mu_);
+    doneCv_.wait(lock, [this] { return pendingParts_ == 0; });
+    job_ = nullptr;
+  }
+
+  /// Static contiguous split of [0, n) into `parts`; returns [begin, end)
+  /// of `part`. Exposed so callers can reason about partition geometry.
+  static std::pair<std::size_t, std::size_t> partition(std::size_t n,
+                                                       int parts, int part) {
+    const std::size_t b = n * part / parts;
+    const std::size_t e = n * (part + 1) / parts;
+    return {b, e};
+  }
+
+ private:
+  explicit ThreadPool(int n) : nThreads_(n < 1 ? 1 : n) { startWorkers(); }
+
+  static int envThreads() {
+    if (const char* s = std::getenv("PT_NUM_THREADS")) {
+      const int n = std::atoi(s);
+      if (n >= 1) return n;
+    }
+    return 1;
+  }
+
+  void startWorkers() {
+    if (nThreads_ <= 1) return;
+    stop_ = false;
+    workers_.reserve(nThreads_ - 1);
+    for (int w = 1; w < nThreads_; ++w)
+      workers_.emplace_back([this, w] { workerLoop(w); });
+  }
+
+  void stopWorkers() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+    stop_ = false;
+  }
+
+  void workerLoop(int part) {
+    inWorker_ = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::function<void(int)> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        seen = generation_;
+        if (stop_) return;
+        job = job_;
+      }
+      if (job) job(part);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pendingParts_ == 0) doneCv_.notify_all();
+      }
+    }
+  }
+
+  int nThreads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_, doneCv_;
+  std::function<void(int)> job_;
+  std::uint64_t generation_ = 0;
+  int pendingParts_ = 0;
+  bool stop_ = false;
+  static thread_local bool inWorker_;
+};
+
+inline thread_local bool ThreadPool::inWorker_ = false;
+
+#else  // !PT_THREADS — serial stub with the same interface.
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+  int threads() const { return 1; }
+  void setThreads(int) {}
+
+  template <typename F>
+  void parallelFor(std::size_t n, F&& fn) {
+    if (n > 0) fn(0, std::size_t{0}, n);
+  }
+
+  static std::pair<std::size_t, std::size_t> partition(std::size_t n,
+                                                       int parts, int part) {
+    const std::size_t b = n * part / parts;
+    const std::size_t e = n * (part + 1) / parts;
+    return {b, e};
+  }
+};
+
+#endif  // PT_THREADS
+
+}  // namespace pt::support
