@@ -38,18 +38,26 @@ namespace pt::fem {
 
 // ---- Per-phase instrumentation (compile-time opt-in) -----------------------
 // With PT_MATVEC_TIMERS defined, the engine accumulates wall-clock per phase
-// (gather / kernel / scatter / accumulate) into this registry; timers are
-// only touched on single-threaded paths, so the flag is safe to combine
-// with PT_THREADS as long as perf runs use one thread (the intended use:
-// a serial breakdown to cite in perf PRs).
+// (gather / kernel / scatter / accumulate) into this registry. The registry
+// is shared and unsynchronized, so the macros gate on the pool being serial
+// at runtime: with more than one participant (where rank/batch loops may run
+// concurrently) they resolve to no-ops, making the flag safe to combine with
+// PT_THREADS — only single-thread runs record times (the intended use: a
+// serial breakdown to cite in perf PRs).
 #ifdef PT_MATVEC_TIMERS
 inline TimerSet& matvecTimers() {
   static TimerSet ts;
   return ts;
 }
-#define PT_MV_TIMER(var, name) ::pt::Timer* var = &::pt::fem::matvecTimers()[name]
-#define PT_MV_START(var) (var)->start()
-#define PT_MV_STOP(var) (var)->stop()
+inline bool matvecTimersActive() {
+  return support::ThreadPool::instance().threads() == 1;
+}
+#define PT_MV_TIMER(var, name)                                        \
+  ::pt::Timer* var = ::pt::fem::matvecTimersActive()                  \
+                         ? &::pt::fem::matvecTimers()[name]           \
+                         : nullptr
+#define PT_MV_START(var) ((var) ? (var)->start() : void(0))
+#define PT_MV_STOP(var) ((var) ? (var)->stop() : void(0))
 #else
 #define PT_MV_TIMER(var, name) ((void)0)
 #define PT_MV_START(var) ((void)0)

@@ -17,6 +17,12 @@
 //  3. Re-entrancy safety: parallelFor called from inside a worker (nested
 //     parallelism) degrades to inline serial execution instead of
 //     deadlocking on the pool's own queue.
+//
+// Coordinator contract: parallelFor and setThreads share one job slot, so
+// they must only ever be called from a single coordinating thread at a time
+// (the pool is a fork-join primitive, not a task queue). Nested calls from
+// workers are fine (they run inline); concurrent calls from two distinct
+// non-worker threads are a contract violation, asserted in debug builds.
 #pragma once
 
 #include <cstdlib>
@@ -24,7 +30,11 @@
 #include <utility>
 
 #ifdef PT_THREADS
+#include <atomic>
+#include <cassert>
 #include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,7 +56,10 @@ class ThreadPool {
   int threads() const { return nThreads_; }
 
   /// Resizes the pool. n <= 1 tears all workers down (serial mode).
+  /// Coordinator-only: must not race with parallelFor or another
+  /// setThreads (see the header comment).
   void setThreads(int n) {
+    CoordinatorGuard guard(*this);
     if (n < 1) n = 1;
     if (n == nThreads_) return;
     stopWorkers();
@@ -60,6 +73,11 @@ class ThreadPool {
   /// threads() contiguous parts (empty parts are skipped). Part 0 runs on
   /// the calling thread; parts 1.. run on the workers. Blocks until all
   /// parts finish. Nested calls (from inside a worker) run serially inline.
+  /// Coordinator-only from non-worker threads (see the header comment).
+  ///
+  /// If any part throws, the remaining parts still run to completion, and
+  /// the first exception (part 0's, if it also threw) is rethrown here
+  /// after the join barrier — workers never terminate the process.
   template <typename F>
   void parallelFor(std::size_t n, F&& fn) {
     const int parts = nThreads_;
@@ -68,6 +86,7 @@ class ThreadPool {
       fn(0, std::size_t{0}, n);
       return;
     }
+    CoordinatorGuard guard(*this);
     {
       std::unique_lock<std::mutex> lock(mu_);
       job_ = [&fn, n, parts](int part) {
@@ -78,10 +97,22 @@ class ThreadPool {
       ++generation_;
     }
     cv_.notify_all();
-    job_(0);  // the caller is participant 0
-    std::unique_lock<std::mutex> lock(mu_);
-    doneCv_.wait(lock, [this] { return pendingParts_ == 0; });
-    job_ = nullptr;
+    std::exception_ptr callerErr;
+    try {
+      job_(0);  // the caller is participant 0
+    } catch (...) {
+      callerErr = std::current_exception();
+    }
+    std::exception_ptr workerErr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      doneCv_.wait(lock, [this] { return pendingParts_ == 0; });
+      job_ = nullptr;
+      workerErr = firstErr_;
+      firstErr_ = nullptr;
+    }
+    if (callerErr) std::rethrow_exception(callerErr);
+    if (workerErr) std::rethrow_exception(workerErr);
   }
 
   /// Static contiguous split of [0, n) into `parts`; returns [begin, end)
@@ -107,9 +138,16 @@ class ThreadPool {
   void startWorkers() {
     if (nThreads_ <= 1) return;
     stop_ = false;
+    pendingParts_ = 0;
     workers_.reserve(nThreads_ - 1);
+    // Workers spawn already synchronized to the current generation:
+    // stopWorkers() bumps generation_ to wake waiters, so a worker born
+    // with seen = 0 after a stop/start cycle would otherwise see a stale
+    // bump, run a null job, and corrupt pendingParts_. No lock needed —
+    // all previous workers are joined and we are on the coordinator.
+    const std::uint64_t gen = generation_;
     for (int w = 1; w < nThreads_; ++w)
-      workers_.emplace_back([this, w] { workerLoop(w); });
+      workers_.emplace_back([this, w, gen] { workerLoop(w, gen); });
   }
 
   void stopWorkers() {
@@ -124,9 +162,8 @@ class ThreadPool {
     stop_ = false;
   }
 
-  void workerLoop(int part) {
+  void workerLoop(int part, std::uint64_t seen) {
     inWorker_ = true;
-    std::uint64_t seen = 0;
     for (;;) {
       std::function<void(int)> job;
       {
@@ -136,7 +173,17 @@ class ThreadPool {
         if (stop_) return;
         job = job_;
       }
-      if (job) job(part);
+      // A generation bump with no published job carries no pendingParts_
+      // share — decrementing for it would release a future parallelFor
+      // early. (With seen synced at spawn this shouldn't happen, but stay
+      // safe against future bookkeeping bumps.)
+      if (!job) continue;
+      try {
+        job(part);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!firstErr_) firstErr_ = std::current_exception();
+      }
       {
         std::unique_lock<std::mutex> lock(mu_);
         if (--pendingParts_ == 0) doneCv_.notify_all();
@@ -144,14 +191,39 @@ class ThreadPool {
     }
   }
 
+  // Debug-mode enforcement of the single-coordinator contract: entering
+  // parallelFor (parallel branch) or setThreads while another non-worker
+  // thread is inside either is a bug in the caller.
+  struct CoordinatorGuard {
+#ifndef NDEBUG
+    explicit CoordinatorGuard(ThreadPool& p) : pool(p) {
+      const bool wasBusy = pool.coordinating_.exchange(true);
+      assert(!wasBusy &&
+             "ThreadPool: parallelFor/setThreads called concurrently from "
+             "two threads — the pool requires a single coordinator");
+      (void)wasBusy;
+    }
+    ~CoordinatorGuard() { pool.coordinating_.store(false); }
+    ThreadPool& pool;
+#else
+    explicit CoordinatorGuard(ThreadPool&) {}
+#endif
+    CoordinatorGuard(const CoordinatorGuard&) = delete;
+    CoordinatorGuard& operator=(const CoordinatorGuard&) = delete;
+  };
+
   int nThreads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_, doneCv_;
   std::function<void(int)> job_;
+  std::exception_ptr firstErr_;  // first worker exception, guarded by mu_
   std::uint64_t generation_ = 0;
   int pendingParts_ = 0;
   bool stop_ = false;
+#ifndef NDEBUG
+  std::atomic<bool> coordinating_{false};
+#endif
   static thread_local bool inWorker_;
 };
 

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include "amr/remesh.hpp"
 #include "fem/matvec.hpp"
@@ -224,6 +226,54 @@ TEST(MatvecPlan, ThreadedMatchesSerial) {
   const Real scale = std::max(Real(1), maxAbs(y1b));
   EXPECT_LE(maxDiff(y1b, y4b) / scale, 1e-13);
 }
+
+// ---- Pool lifecycle ---------------------------------------------------------
+
+#ifdef PT_THREADS
+
+// Regression: stopWorkers() bumps the job generation, so workers spawned by
+// a later setThreads() used to wake on the stale bump, run a null job, and
+// corrupt the pending-part count — releasing a subsequent parallelFor before
+// all partitions finished. Cycle the pool down and back up repeatedly and
+// verify every index is processed exactly once per call.
+TEST(ThreadPool, SurvivesStopStartCycles) {
+  auto& pool = support::ThreadPool::instance();
+  constexpr std::size_t kN = 20000;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    pool.setThreads(4);
+    std::vector<int> hits(kN, 0);
+    for (int rep = 0; rep < 20; ++rep)
+      pool.parallelFor(kN, [&](int, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+      });
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i], 20);
+    pool.setThreads(1);
+  }
+}
+
+// Exceptions from any partition (worker or caller) are rethrown on the
+// coordinating thread after the join barrier, and the pool stays usable.
+TEST(ThreadPool, PartitionExceptionPropagates) {
+  auto& pool = support::ThreadPool::instance();
+  pool.setThreads(4);
+  for (int throwingPart : {0, 2}) {  // caller-side and worker-side
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](int part, std::size_t, std::size_t) {
+                           if (part == throwingPart)
+                             throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+  }
+  std::vector<char> seen(100, 0);
+  pool.parallelFor(seen.size(), [&](int, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) seen[i] = 1;
+  });
+  for (char c : seen) EXPECT_EQ(c, 1);
+  pool.setThreads(1);
+}
+
+#endif  // PT_THREADS
 
 // ---- Remesh rebuilds plans --------------------------------------------------
 
