@@ -22,6 +22,7 @@
 #include "fem/matvec_batched.hpp"
 #include "mesh/mesh.hpp"
 #include "octree/balance.hpp"
+#include "support/buildinfo.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -148,8 +149,12 @@ BENCHMARK(BM_MatvecPlannedBatchedThreads)
 // Custom main so a PT_MATVEC_TIMERS build (the `profile` preset) prints the
 // per-phase breakdown accumulated across all benchmark iterations.
 int main(int argc, char** argv) {
+  pt::support::requireReleaseBuild("fig4_matvec_throughput");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("pt_build_type", pt::support::buildType());
+  benchmark::AddCustomContext("pt_optimized",
+                              pt::support::buildIsOptimized() ? "1" : "0");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 #ifdef PT_MATVEC_TIMERS

@@ -1,0 +1,301 @@
+// Fig 5 companion (single node): per-solve wall-time breakdown of one CHNS
+// time step, isolating the solver-hot-path work of this PR:
+//
+//   baseline-serial  reuseSolverResources=false — the historical path:
+//                    fresh Krylov workspaces every solve, block-Jacobi
+//                    re-eliminated per node per apply, ones-field mean
+//                    projection, 1 thread.
+//   pooled-serial    reuseSolverResources=true — pooled KSP workspaces,
+//                    factorized/cached preconditioners, 1 thread.
+//   pooled-2t        same, with the thread pool at 2 threads.
+//
+// The workload (2D drop, uniform level-6 mesh, 3 time steps) deliberately
+// stays below the kVecThreadMin / kSpmvThreadMin thresholds, so every
+// configuration runs the bitwise-identical serial reduction path and the
+// three convergence histories MUST match exactly — the bench aborts if any
+// iteration count, residual, or field fingerprint differs. Speedup is
+// therefore pure implementation win at identical arithmetic.
+//
+// A second section measures the blocked BSR SpMV microkernel against the
+// generic runtime-block-size loop at bs=4 (the DIM+2 coupled-system size)
+// on an FEM-like sparsity, asserting bitwise-equal products.
+//
+// Emits BENCH_solver.json (wrapped by bench/run_solver_bench.sh, which
+// builds the release preset first; a debug build aborts in
+// requireReleaseBuild before any number is produced).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/fields.hpp"
+#include "chns/solver.hpp"
+#include "la/seqmat.hpp"
+#include "support/buildinfo.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+using namespace pt;
+
+namespace {
+
+constexpr int kSteps = 3;
+constexpr int kLevel = 6;
+
+const char* const kPhaseNames[] = {"vec", "op", "pc", "assemble"};
+const char* const kSolveNames[] = {"ch", "ns", "pp", "vu"};
+
+struct StepRecord {
+  // Convergence history — must be identical across configurations.
+  int chNewton = 0, chLin = 0, ns = 0, pp = 0, vu = 0;
+  Real chRes = 0, nsRes = 0, ppRes = 0;
+  Real phiSum = 0, velSum = 0;
+  // Wall time — the quantity under test.
+  double solveSec = 0;                     // ch+ns+pp+vu totals
+  std::map<std::string, double> timers;    // per-solve and per-phase deltas
+};
+
+struct ConfigResult {
+  std::string name;
+  std::vector<StepRecord> steps;
+  double medianStepSec = 0;
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Left-to-right sum of every entry of a field — a deterministic, bitwise
+/// comparable fingerprint of the solution state.
+Real fingerprint(const Field& f, int nRanks) {
+  Real s = 0;
+  for (int r = 0; r < nRanks; ++r)
+    for (Real v : f[r]) s += v;
+  return s;
+}
+
+ConfigResult runConfig(const std::string& name, bool reuse, int threads) {
+  support::ThreadPool::instance().setThreads(threads);
+  sim::SimComm comm(1, sim::Machine::loopback());
+  chns::ChnsOptions<2> opt;
+  opt.params.Cn = 0.03;
+  opt.dt = 1e-3;
+  opt.blocksPerStep = 2;
+  opt.reuseSolverResources = reuse;
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(kLevel));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition([&](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.25, opt.params.Cn);
+  });
+
+  std::vector<std::string> watched;
+  for (const char* sv : kSolveNames) {
+    watched.push_back(std::string(sv) + "-solve");
+    for (const char* ph : kPhaseNames)
+      watched.push_back(std::string(sv) + "-" + ph);
+  }
+
+  ConfigResult res;
+  res.name = name;
+  std::map<std::string, double> prev;
+  for (const auto& w : watched) prev[w] = 0;
+  for (int st = 0; st < kSteps; ++st) {
+    s.step();
+    StepRecord rec;
+    rec.chNewton = s.lastChNewton_.iterations;
+    rec.chLin = s.lastChNewton_.totalLinearIterations;
+    rec.chRes = s.lastChNewton_.residualNorm;
+    rec.ns = s.lastNs_.iterations;
+    rec.nsRes = s.lastNs_.relResidual;
+    rec.pp = s.lastPp_.iterations;
+    rec.ppRes = s.lastPp_.relResidual;
+    rec.vu = s.lastVuIterations_;
+    rec.phiSum = fingerprint(s.phi(), s.mesh().nRanks());
+    rec.velSum = fingerprint(s.velocity(), s.mesh().nRanks());
+    for (const auto& w : watched) {
+      const double now = s.timers()[w].seconds();
+      rec.timers[w] = now - prev[w];
+      prev[w] = now;
+    }
+    for (const char* sv : kSolveNames)
+      rec.solveSec += rec.timers[std::string(sv) + "-solve"];
+    res.steps.push_back(std::move(rec));
+  }
+  std::vector<double> stepSecs;
+  for (const auto& r : res.steps) stepSecs.push_back(r.solveSec);
+  res.medianStepSec = median(stepSecs);
+  support::ThreadPool::instance().setThreads(1);
+  return res;
+}
+
+bool sameHistory(const StepRecord& a, const StepRecord& b) {
+  return a.chNewton == b.chNewton && a.chLin == b.chLin && a.ns == b.ns &&
+         a.pp == b.pp && a.vu == b.vu && a.chRes == b.chRes &&
+         a.nsRes == b.nsRes && a.ppRes == b.ppRes && a.phiSum == b.phiSum &&
+         a.velSum == b.velSum;
+}
+
+/// FEM-like 5-point block sparsity, identical to the abl4 generator.
+void buildBsr(int nb, int bs, la::BsrMatrix& B) {
+  const int side = static_cast<int>(std::sqrt(double(nb)));
+  Rng rng(17);
+  for (int r = 0; r < nb; ++r) {
+    const int x = r % side, y = r / side;
+    auto link = [&](int c) {
+      if (c < 0 || c >= nb) return;
+      for (int oi = 0; oi < bs; ++oi)
+        for (int oj = 0; oj < bs; ++oj)
+          B.setValue(r * bs + oi, c * bs + oj,
+                     rng.uniform(-1, 1) + (r == c && oi == oj ? 8.0 : 0));
+    };
+    link(r);
+    if (x > 0) link(r - 1);
+    if (x < side - 1) link(r + 1);
+    if (y > 0) link(r - side);
+    if (y < side - 1) link(r + side);
+  }
+  B.assemblyEnd();
+}
+
+struct BsrResult {
+  double genericSec = 0, blockedSec = 0, speedup = 0;
+  bool bitwiseEqual = false;
+};
+
+BsrResult benchBsr() {
+  const int nb = 16384, bs = 4, reps = 50, trials = 9;
+  la::BsrMatrix B(nb, nb, bs);
+  buildBsr(nb, bs, B);
+  std::vector<Real> x(std::size_t(nb) * bs);
+  Rng rng(23);
+  for (Real& v : x) v = rng.uniform(-1, 1);
+  std::vector<Real> yg, yb;
+  B.multiplyGeneric(x, yg);
+  B.multiply(x, yb);
+  BsrResult res;
+  res.bitwiseEqual = yg == yb;
+  auto time = [&](auto&& fn) {
+    std::vector<double> ts;
+    for (int t = 0; t < trials; ++t) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      ts.push_back(std::chrono::duration<double>(t1 - t0).count() / reps);
+    }
+    return median(ts);
+  };
+  res.genericSec = time([&] { B.multiplyGeneric(x, yg); });
+  res.blockedSec = time([&] { B.multiply(x, yb); });
+  res.speedup = res.genericSec / res.blockedSec;
+  return res;
+}
+
+void writeJson(const std::vector<ConfigResult>& cfgs, const BsrResult& bsr) {
+  std::FILE* f = std::fopen("BENCH_solver.json", "w");
+  if (!f) {
+    std::perror("BENCH_solver.json");
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"build_type\": \"%s\",\n", support::buildType());
+  std::fprintf(f, "  \"workload\": {\"dim\": 2, \"level\": %d, \"steps\": %d, "
+                  "\"dt\": 1e-3, \"Cn\": 0.03},\n",
+               kLevel, kSteps);
+  std::fprintf(f, "  \"configs\": [\n");
+  for (std::size_t c = 0; c < cfgs.size(); ++c) {
+    const auto& cfg = cfgs[c];
+    std::fprintf(f, "    {\"name\": \"%s\",\n", cfg.name.c_str());
+    std::fprintf(f, "     \"median_step_solver_sec\": %.6f,\n",
+                 cfg.medianStepSec);
+    std::fprintf(f, "     \"steps\": [\n");
+    for (std::size_t st = 0; st < cfg.steps.size(); ++st) {
+      const auto& r = cfg.steps[st];
+      std::fprintf(f,
+                   "       {\"ch_newton\": %d, \"ch_lin\": %d, \"ns\": %d, "
+                   "\"pp\": %d, \"vu\": %d,\n",
+                   r.chNewton, r.chLin, r.ns, r.pp, r.vu);
+      std::fprintf(f, "        \"solver_sec\": %.6f, \"timers\": {", r.solveSec);
+      bool first = true;
+      for (const auto& [k, v] : r.timers) {
+        std::fprintf(f, "%s\"%s\": %.6f", first ? "" : ", ", k.c_str(), v);
+        first = false;
+      }
+      std::fprintf(f, "}}%s\n", st + 1 < cfg.steps.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", c + 1 < cfgs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"histories_identical\": true,\n");
+  std::fprintf(f, "  \"speedup_pooled_serial\": %.3f,\n",
+               cfgs[0].medianStepSec / cfgs[1].medianStepSec);
+  std::fprintf(f, "  \"speedup_pooled_2t\": %.3f,\n",
+               cfgs[0].medianStepSec / cfgs[2].medianStepSec);
+  std::fprintf(f,
+               "  \"bsr_bs4\": {\"generic_sec\": %.6e, \"blocked_sec\": "
+               "%.6e, \"speedup\": %.3f, \"bitwise_equal\": %s}\n",
+               bsr.genericSec, bsr.blockedSec, bsr.speedup,
+               bsr.bitwiseEqual ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  support::requireReleaseBuild("fig5_solver_breakdown");
+
+  std::vector<ConfigResult> cfgs;
+  cfgs.push_back(runConfig("baseline-serial", /*reuse=*/false, /*threads=*/1));
+  cfgs.push_back(runConfig("pooled-serial", /*reuse=*/true, /*threads=*/1));
+  cfgs.push_back(runConfig("pooled-2t", /*reuse=*/true, /*threads=*/2));
+
+  // Correctness gate: identical convergence histories and solution
+  // fingerprints across all configurations, step by step.
+  for (std::size_t c = 1; c < cfgs.size(); ++c)
+    for (int st = 0; st < kSteps; ++st)
+      if (!sameHistory(cfgs[0].steps[st], cfgs[c].steps[st])) {
+        std::fprintf(stderr,
+                     "FAIL: config '%s' step %d diverged from baseline "
+                     "(histories must be bitwise identical)\n",
+                     cfgs[c].name.c_str(), st);
+        return 1;
+      }
+  std::printf("histories: identical across all configs (%d steps)\n\n",
+              kSteps);
+
+  for (const auto& cfg : cfgs) {
+    std::printf("%-16s median step solver time %8.3f s\n", cfg.name.c_str(),
+                cfg.medianStepSec);
+    const auto& last = cfg.steps.back().timers;
+    for (const char* sv : kSolveNames) {
+      std::printf("  %s-solve %7.3f s  (", sv,
+                  last.at(std::string(sv) + "-solve"));
+      for (const char* ph : kPhaseNames)
+        std::printf("%s %.3f%s", ph, last.at(std::string(sv) + "-" + ph),
+                    std::string(ph) == "assemble" ? "" : ", ");
+      std::printf(")\n");
+    }
+  }
+  const double spSerial = cfgs[0].medianStepSec / cfgs[1].medianStepSec;
+  const double sp2t = cfgs[0].medianStepSec / cfgs[2].medianStepSec;
+  std::printf("\nspeedup vs baseline-serial: pooled-serial %.2fx, "
+              "pooled-2t %.2fx (target >= 1.5x)\n",
+              spSerial, sp2t);
+
+  BsrResult bsr = benchBsr();
+  if (!bsr.bitwiseEqual) {
+    std::fprintf(stderr, "FAIL: blocked BSR SpMV differs from generic\n");
+    return 1;
+  }
+  std::printf("BSR bs=4 SpMV: generic %.3f ms, blocked %.3f ms -> %.2fx "
+              "(target >= 1.3x), products bitwise equal\n",
+              bsr.genericSec * 1e3, bsr.blockedSec * 1e3, bsr.speedup);
+
+  writeJson(cfgs, bsr);
+  std::printf("\nwrote BENCH_solver.json\n");
+  return 0;
+}

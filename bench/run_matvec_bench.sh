@@ -1,17 +1,25 @@
 #!/usr/bin/env bash
-# Runs the MATVEC throughput benchmark and dumps BENCH_matvec.json next to
-# the current directory. Extra arguments are passed to the benchmark binary.
+# Builds the release preset and runs the MATVEC throughput benchmark,
+# dumping BENCH_matvec.json in the current directory. Extra arguments are
+# passed to the benchmark binary.
 #
-#   BUILD_DIR=build ./bench/run_matvec_bench.sh [--benchmark_filter=...]
+# The release preset is configured and built explicitly so the numbers can
+# never come from a stale debug tree; the binary additionally aborts if it
+# was compiled without optimization (support/buildinfo.hpp) and records the
+# build type in the JSON context.
+#
+#   ./bench/run_matvec_bench.sh [--benchmark_filter=...]
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
-BIN="$BUILD_DIR/bench/fig4_matvec_throughput"
+cmake --preset release >/dev/null
+cmake --build --preset release --target fig4_matvec_throughput -- -j"$(nproc)"
+
+BIN=build/bench/fig4_matvec_throughput
 if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built (cmake --build $BUILD_DIR --target fig4_matvec_throughput)" >&2
+  echo "error: $BIN missing after release build" >&2
   exit 1
 fi
-
 exec "$BIN" \
   --benchmark_out=BENCH_matvec.json \
   --benchmark_out_format=json \

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the release preset and runs the single-node solver hot-path
+# breakdown (bench/fig5_solver_breakdown.cpp), which writes
+# BENCH_solver.json in the current directory.
+#
+# The release preset is configured and built explicitly — numbers from a
+# debug tree are worthless, and the binary itself also refuses to run if it
+# was compiled without optimization (support/buildinfo.hpp).
+#
+#   ./bench/run_solver_bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset release >/dev/null
+cmake --build --preset release --target fig5_solver_breakdown -- -j"$(nproc)"
+
+BIN=build/bench/fig5_solver_breakdown
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN missing after release build" >&2
+  exit 1
+fi
+exec "$BIN" "$@"

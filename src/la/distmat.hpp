@@ -16,10 +16,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "fem/matvec.hpp"
+#include "la/seqmat.hpp"
 #include "mesh/mesh.hpp"
 #include "sim/comm.hpp"
 #include "support/check.hpp"
@@ -129,40 +131,48 @@ class DistBsr {
         }
       }
     }
-    // Freeze to BSR per rank + build the ghost-column fetch plan.
-    csr_.resize(p);
-    ghostCols_.resize(p);
-    for (int r = 0; r < p; ++r) {
-      auto& cs = csr_[r];
-      cs.rows.reserve(local_[r].size());
-      std::map<GlobalIdx, int> ghostIndex;
-      for (const auto& [ij, blk] : local_[r]) {
-        Entry en;
-        en.row = ij.first;
-        en.col = ij.second;
-        const int colOwner = ownerOfRow(ij.second);
-        if (colOwner == r) {
-          en.ghostSlot = -1;
-        } else {
-          auto [git, ins] =
-              ghostIndex.try_emplace(ij.second,
-                                     static_cast<int>(ghostIndex.size()));
-          en.ghostSlot = git->second;
-        }
-        en.vals = blk;
-        cs.rows.push_back(std::move(en));
-      }
-      ghostCols_[r].resize(ghostIndex.size());
-      for (const auto& [gid, slot] : ghostIndex) ghostCols_[r][slot] = gid;
-      local_[r].clear();
-      comm.chargeWork(r, 10.0 * cs.rows.size());
-    }
     // Per-rank map globalId -> local node index (for vector conversion).
     gid2local_.resize(p);
     for (int r = 0; r < p; ++r) {
       const RankMesh<DIM>& rm = mesh_->rank(r);
       for (std::size_t li = 0; li < rm.nNodes(); ++li)
         gid2local_[r][rm.nodeIds[li]] = static_cast<std::int32_t>(li);
+    }
+    // Freeze to flat BSR per rank + build the ghost-column fetch plan.
+    // Row/column ids are resolved to local node indices (or ghost slots,
+    // encoded as ~slot) once here, so the apply does no map lookups.
+    flat_.resize(p);
+    ghostCols_.resize(p);
+    for (int r = 0; r < p; ++r) {
+      RankFlat& fl = flat_[r];
+      const int bs2 = bs_ * bs_;
+      fl.vals.reserve(local_[r].size() * bs2);
+      std::map<GlobalIdx, int> ghostIndex;
+      GlobalIdx prevRow = -1;
+      for (const auto& [ij, blk] : local_[r]) {
+        if (ij.first != prevRow) {
+          const auto rowIt = gid2local_[r].find(ij.first);
+          PT_CHECK(rowIt != gid2local_[r].end());
+          fl.rowLocal.push_back(rowIt->second);
+          fl.rowPtr.push_back(static_cast<GlobalIdx>(fl.colSlot.size()));
+          prevRow = ij.first;
+        }
+        if (ownerOfRow(ij.second) == r) {
+          const auto colIt = gid2local_[r].find(ij.second);
+          PT_CHECK(colIt != gid2local_[r].end());
+          fl.colSlot.push_back(colIt->second);
+        } else {
+          auto [git, ins] = ghostIndex.try_emplace(
+              ij.second, static_cast<int>(ghostIndex.size()));
+          fl.colSlot.push_back(~static_cast<std::int32_t>(git->second));
+        }
+        fl.vals.insert(fl.vals.end(), blk.begin(), blk.end());
+      }
+      fl.rowPtr.push_back(static_cast<GlobalIdx>(fl.colSlot.size()));
+      ghostCols_[r].resize(ghostIndex.size());
+      for (const auto& [gid, slot] : ghostIndex) ghostCols_[r][slot] = gid;
+      local_[r].clear();
+      comm.chargeWork(r, 10.0 * fl.colSlot.size());
     }
     assembled_ = true;
   }
@@ -198,10 +208,11 @@ class DistBsr {
       }
     }
     auto repRecv = comm.sparseExchange(rep);
-    // Reassemble ghost x values in ghostCols_ order.
-    std::vector<std::vector<Real>> ghostX(p);
+    // Reassemble ghost x values in ghostCols_ order (ghostX_ buffers are
+    // reused across applies; assign reuses capacity once warm).
+    if (static_cast<int>(ghostX_.size()) != p) ghostX_.resize(p);
     for (int r = 0; r < p; ++r) {
-      ghostX[r].assign(ghostCols_[r].size() * bs_, 0.0);
+      ghostX_[r].assign(ghostCols_[r].size() * bs_, 0.0);
       // Requests were grouped by owner in ascending owner order; replies
       // arrive sorted by source. Reconstruct the order deterministically.
       std::map<int, std::vector<int>> slotsByOwner;
@@ -213,51 +224,97 @@ class DistBsr {
         PT_CHECK(vals.size() == slots.size() * static_cast<std::size_t>(bs_));
         for (std::size_t i = 0; i < slots.size(); ++i)
           for (int d = 0; d < bs_; ++d)
-            ghostX[r][slots[i] * bs_ + d] = vals[i * bs_ + d];
+            ghostX_[r][slots[i] * bs_ + d] = vals[i * bs_ + d];
       }
     }
     // Local BSR apply into owned rows (then ghostRead for consistency).
-    y = mesh_->makeField(bs_);
+    // y is conformed in place — zero-filled, no allocation once warm.
+    if (static_cast<int>(y.size()) != p) y.resize(p);
     for (int r = 0; r < p; ++r) {
-      for (const Entry& en : csr_[r].rows) {
-        const auto rowIt = gid2local_[r].find(en.row);
-        PT_CHECK(rowIt != gid2local_[r].end());
-        const Real* xb;
-        if (en.ghostSlot < 0) {
-          const auto colIt = gid2local_[r].find(en.col);
-          PT_CHECK(colIt != gid2local_[r].end());
-          xb = &x[r][colIt->second * bs_];
-        } else {
-          xb = &ghostX[r][en.ghostSlot * bs_];
-        }
-        Real* yb = &y[r][rowIt->second * bs_];
-        for (int d1 = 0; d1 < bs_; ++d1) {
-          Real acc = 0;
-          for (int d2 = 0; d2 < bs_; ++d2)
-            acc += en.vals[d1 * bs_ + d2] * xb[d2];
-          yb[d1] += acc;
-        }
+      const std::size_t want = mesh_->rank(r).nNodes() * bs_;
+      if (y[r].size() != want)
+        y[r].assign(want, 0.0);
+      else
+        std::fill(y[r].begin(), y[r].end(), 0.0);
+    }
+    for (int r = 0; r < p; ++r) {
+      switch (bs_) {
+        case 1: applyRank<1>(flat_[r], x[r], ghostX_[r], y[r]); break;
+        case 2: applyRank<2>(flat_[r], x[r], ghostX_[r], y[r]); break;
+        case 3: applyRank<3>(flat_[r], x[r], ghostX_[r], y[r]); break;
+        case 4: applyRank<4>(flat_[r], x[r], ghostX_[r], y[r]); break;
+        case 5: applyRank<5>(flat_[r], x[r], ghostX_[r], y[r]); break;
+        default: applyRankGeneric(flat_[r], x[r], ghostX_[r], y[r]); break;
       }
-      comm.chargeWork(r, 2.0 * bs_ * bs_ * csr_[r].rows.size());
+      comm.chargeWork(r, 2.0 * bs_ * bs_ * flat_[r].colSlot.size());
     }
     mesh_->ghostRead(y, bs_);
   }
 
   std::size_t globalNnzBlocks() const {
     std::size_t n = 0;
-    for (const auto& cs : csr_) n += cs.rows.size();
+    for (const auto& fl : flat_) n += fl.colSlot.size();
     return n;
   }
 
  private:
-  struct Entry {
-    GlobalIdx row, col;
-    int ghostSlot;  ///< -1 if the column is owned locally
+  /// Frozen per-rank block rows: rowPtr/colSlot/vals in CSR-of-blocks form,
+  /// with rows and columns pre-resolved to local node indices. colSlot >= 0
+  /// is a local node index; negative encodes ghost slot ~colSlot.
+  struct RankFlat {
+    std::vector<GlobalIdx> rowPtr;
+    std::vector<std::int32_t> rowLocal;
+    std::vector<std::int32_t> colSlot;
     std::vector<Real> vals;
   };
-  struct RankCsr {
-    std::vector<Entry> rows;  ///< sorted by (row, col) via the map origin
-  };
+
+  /// Block-size-templated row kernel, threaded over contiguous block-row
+  /// ranges (each owned row written by one partition; same association
+  /// order as the historical per-entry loop, so bitwise identical).
+  template <int BS>
+  void applyRank(const RankFlat& fl, const std::vector<Real>& x,
+                 const std::vector<Real>& gx, std::vector<Real>& y) const {
+    const GlobalIdx nRows = static_cast<GlobalIdx>(fl.rowLocal.size());
+    seqdetail::forRows(nRows, fl.vals.size(), [&](GlobalIdx rb, GlobalIdx re) {
+      constexpr int kBs2 = BS * BS;
+      for (GlobalIdx br = rb; br < re; ++br) {
+        Real acc[BS] = {};
+        for (GlobalIdx k = fl.rowPtr[br]; k < fl.rowPtr[br + 1]; ++k) {
+          const Real* blk = fl.vals.data() + k * kBs2;
+          const std::int32_t cs = fl.colSlot[k];
+          const Real* xb =
+              cs >= 0 ? x.data() + cs * BS : gx.data() + ~cs * BS;
+          for (int oi = 0; oi < BS; ++oi) {
+            Real t = 0;
+            for (int oj = 0; oj < BS; ++oj) t += blk[oi * BS + oj] * xb[oj];
+            acc[oi] += t;
+          }
+        }
+        Real* yb = y.data() + fl.rowLocal[br] * BS;
+        for (int oi = 0; oi < BS; ++oi) yb[oi] = acc[oi];
+      }
+    });
+  }
+
+  void applyRankGeneric(const RankFlat& fl, const std::vector<Real>& x,
+                        const std::vector<Real>& gx,
+                        std::vector<Real>& y) const {
+    const int bs = bs_;
+    const int bs2 = bs * bs;
+    for (std::size_t br = 0; br < fl.rowLocal.size(); ++br) {
+      Real* yb = y.data() + fl.rowLocal[br] * bs;
+      for (GlobalIdx k = fl.rowPtr[br]; k < fl.rowPtr[br + 1]; ++k) {
+        const Real* blk = fl.vals.data() + k * bs2;
+        const std::int32_t cs = fl.colSlot[k];
+        const Real* xb = cs >= 0 ? x.data() + cs * bs : gx.data() + ~cs * bs;
+        for (int d1 = 0; d1 < bs; ++d1) {
+          Real acc = 0;
+          for (int d2 = 0; d2 < bs; ++d2) acc += blk[d1 * bs + d2] * xb[d2];
+          yb[d1] += acc;
+        }
+      }
+    }
+  }
 
   const Mesh<DIM>* mesh_;
   int bs_;
@@ -266,9 +323,10 @@ class DistBsr {
   /// COO accumulation: per rank, owned-row blocks and off-rank stash.
   std::vector<std::map<std::pair<GlobalIdx, GlobalIdx>, std::vector<Real>>>
       local_, stash_;
-  std::vector<RankCsr> csr_;
+  std::vector<RankFlat> flat_;
   std::vector<std::vector<GlobalIdx>> ghostCols_;
   std::vector<std::map<GlobalIdx, std::int32_t>> gid2local_;
+  mutable std::vector<std::vector<Real>> ghostX_;
 };
 
 }  // namespace pt::la

@@ -38,9 +38,15 @@ NewtonResult newton(
         makeJacobianOp,
     const std::function<LinOp<typename Space::V>(const typename Space::V&)>&
         makePrecond = nullptr,
-    const NewtonOptions& opt = {}) {
+    const NewtonOptions& opt = {},
+    KspWorkspace<typename Space::V>* ws = nullptr) {
   using V = typename Space::V;
-  V F = S.zeros(), du = S.zeros(), negF = S.zeros();
+  KspWorkspace<V> local;
+  KspWorkspace<V>& wsp = ws ? *ws : local;
+  kspdetail::ensure(S, wsp.outer, 3);
+  V& F = wsp.outer[0];
+  V& du = wsp.outer[1];
+  V& negF = wsp.outer[2];
   NewtonResult res;
   residual(u, F);
   Real f0 = S.norm(F);
@@ -56,7 +62,7 @@ NewtonResult newton(
     S.setZero(du);
     S.setZero(negF);
     S.axpy(negF, -1.0, F);
-    KspResult lin = gmres(S, J, negF, du, opt.linear, M ? &M : nullptr);
+    KspResult lin = gmres(S, J, negF, du, opt.linear, M ? &M : nullptr, &wsp);
     res.totalLinearIterations += lin.iterations;
     S.axpy(u, opt.damping, du);
     residual(u, F);

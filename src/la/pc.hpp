@@ -63,14 +63,15 @@ Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
 }
 
 /// Point-Jacobi preconditioner: z = D^-1 r using only the (d,d) entries of
-/// the per-node blocks.
+/// the per-node blocks. Every output entry is written, so z is conformed
+/// without zero-filling (no allocation once z has the right shape).
 template <int DIM>
 LinOp<Field> makeJacobi(const Mesh<DIM>& mesh, int ndof, Field diagBlocks) {
   return [&mesh, ndof, diag = std::move(diagBlocks)](const Field& r,
                                                      Field& z) {
     for (int rank = 0; rank < mesh.nRanks(); ++rank) {
       const std::size_t nn = mesh.rank(rank).nNodes();
-      z[rank].assign(nn * ndof, 0.0);
+      if (z[rank].size() != nn * ndof) z[rank].resize(nn * ndof);
       for (std::size_t i = 0; i < nn; ++i)
         for (int d = 0; d < ndof; ++d) {
           const Real dv = diag[rank][i * ndof * ndof + d * ndof + d];
@@ -85,9 +86,56 @@ LinOp<Field> makeJacobi(const Mesh<DIM>& mesh, int ndof, Field diagBlocks) {
 
 /// Node-block Jacobi: z_i = B_i^-1 r_i with B_i the per-node ndof x ndof
 /// diagonal block (the natural block preconditioner for BAIJ storage).
+/// The blocks are LU-factorized once at construction and every apply is a
+/// pivot/substitution sweep — O(ndof^2) per node instead of a fresh
+/// O(ndof^3) elimination, with zero per-apply allocations. Applies are
+/// bitwise identical to the unfactored legacy path (denseSolveFactored
+/// replays denseSolve exactly), so caching across Krylov and Newton
+/// iterations cannot perturb convergence histories.
 template <int DIM>
 LinOp<Field> makeBlockJacobi(const Mesh<DIM>& mesh, int ndof,
                              Field diagBlocks) {
+  const int nd2 = ndof * ndof;
+  // Factor every node block up front (tiny-diagonal guard first, exactly
+  // like the legacy path prepares blk before denseSolve).
+  Field fac = std::move(diagBlocks);
+  std::vector<std::vector<int>> piv(mesh.nRanks());
+  for (int rank = 0; rank < mesh.nRanks(); ++rank) {
+    const std::size_t nn = mesh.rank(rank).nNodes();
+    piv[rank].resize(nn * ndof);
+    for (std::size_t i = 0; i < nn; ++i) {
+      Real* blk = fac[rank].data() + i * nd2;
+      for (int d = 0; d < ndof; ++d)
+        if (std::abs(blk[d * ndof + d]) < 1e-300) blk[d * ndof + d] = 1.0;
+      denseFactor(ndof, blk, piv[rank].data() + i * ndof);
+    }
+  }
+  return [&mesh, ndof, nd2, fac = std::move(fac),
+          piv = std::move(piv)](const Field& r, Field& z) {
+    for (int rank = 0; rank < mesh.nRanks(); ++rank) {
+      const std::size_t nn = mesh.rank(rank).nNodes();
+      if (z[rank].size() != nn * ndof) z[rank].resize(nn * ndof);
+      for (std::size_t i = 0; i < nn; ++i) {
+        for (int d = 0; d < ndof; ++d)
+          z[rank][i * ndof + d] = r[rank][i * ndof + d];
+        denseSolveFactored(ndof, fac[rank].data() + i * nd2,
+                           piv[rank].data() + i * ndof,
+                           &z[rank][i * ndof]);
+      }
+      // Charged like the legacy per-apply elimination so the simulated
+      // machine model (and therefore every calibrated run) is unchanged.
+      mesh.comm().chargeWork(rank, 2.0 * nn * ndof * ndof * ndof);
+    }
+  };
+}
+
+/// The historical block Jacobi: re-runs a full pivoted elimination per node
+/// per apply (two heap allocations per node inside denseSolve). Kept as the
+/// measured baseline for the solver-hot-path bench and as the bitwise
+/// reference for the factored path.
+template <int DIM>
+LinOp<Field> makeBlockJacobiUnfactored(const Mesh<DIM>& mesh, int ndof,
+                                       Field diagBlocks) {
   return [&mesh, ndof, diag = std::move(diagBlocks)](const Field& r,
                                                      Field& z) {
     std::vector<Real> blk(ndof * ndof);

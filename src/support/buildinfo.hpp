@@ -1,0 +1,62 @@
+// Build-context introspection so performance binaries can refuse to emit
+// numbers from an unoptimized build. NDEBUG is deliberately NOT used: the
+// project's Release flags are "-O2 -g" without -DNDEBUG, so the only honest
+// signals are the compiler's __OPTIMIZE__ macro and the CMAKE_BUILD_TYPE
+// baked in via the PT_BUILD_TYPE compile definition (CMakeLists.txt).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pt::support {
+
+/// CMake build type the translation unit was compiled under ("Release",
+/// "RelWithDebInfo", "Debug", ...), or "unknown" for out-of-tree builds.
+inline const char* buildType() {
+#ifdef PT_BUILD_TYPE
+  return PT_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
+/// True when the compiler ran with optimization enabled (-O1 or higher).
+inline constexpr bool buildIsOptimized() {
+#ifdef __OPTIMIZE__
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// True when this binary is fit for reporting performance numbers: compiled
+/// with optimization AND under a Release-flavored CMake build type.
+inline bool buildIsBenchmarkable() {
+  return buildIsOptimized() && (std::strcmp(buildType(), "Release") == 0 ||
+                                std::strcmp(buildType(), "RelWithDebInfo") == 0);
+}
+
+/// Aborts loudly unless the build is benchmarkable. Every benchmark binary
+/// calls this first so a debug build can never silently produce BENCH_*.json
+/// artifacts. PT_ALLOW_DEBUG_BENCH=1 downgrades the abort to a warning for
+/// local smoke runs (never for recorded results).
+inline void requireReleaseBuild(const char* benchName) {
+  if (buildIsBenchmarkable()) return;
+  std::fprintf(stderr,
+               "%s: refusing to benchmark a non-release build "
+               "(build type '%s', optimized=%d).\n"
+               "Build with: cmake --preset release && "
+               "cmake --build --preset release\n",
+               benchName, buildType(), buildIsOptimized() ? 1 : 0);
+  const char* allow = std::getenv("PT_ALLOW_DEBUG_BENCH");
+  if (allow && allow[0] == '1') {
+    std::fprintf(stderr, "%s: PT_ALLOW_DEBUG_BENCH=1 set, continuing; do NOT "
+                         "record these numbers.\n",
+                 benchName);
+    return;
+  }
+  std::exit(2);
+}
+
+}  // namespace pt::support

@@ -33,6 +33,7 @@
 #include <atomic>
 #include <cassert>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -87,19 +88,24 @@ class ThreadPool {
       return;
     }
     CoordinatorGuard guard(*this);
+    // The job slot is a raw trampoline + context pointer, not a
+    // std::function: vector-space kernels issue a parallelFor per axpy/dot,
+    // and a std::function capture of (fn, n, parts) exceeds the small-buffer
+    // size, turning every hot-loop call into a heap allocation. The context
+    // lives on this stack frame; workers are joined below before it dies.
+    using Fn = std::remove_reference_t<F>;
+    Ctx<Fn> ctx{&fn, n, parts};
+    Job job{&runPart<Fn>, &ctx};
     {
       std::unique_lock<std::mutex> lock(mu_);
-      job_ = [&fn, n, parts](int part) {
-        const auto [b, e] = partition(n, parts, part);
-        if (b < e) fn(part, b, e);
-      };
+      job_ = job;
       pendingParts_ = parts - 1;
       ++generation_;
     }
     cv_.notify_all();
     std::exception_ptr callerErr;
     try {
-      job_(0);  // the caller is participant 0
+      job.run(job.ctx, 0);  // the caller is participant 0
     } catch (...) {
       callerErr = std::current_exception();
     }
@@ -107,7 +113,7 @@ class ThreadPool {
     {
       std::unique_lock<std::mutex> lock(mu_);
       doneCv_.wait(lock, [this] { return pendingParts_ == 0; });
-      job_ = nullptr;
+      job_ = Job{};
       workerErr = firstErr_;
       firstErr_ = nullptr;
     }
@@ -125,6 +131,24 @@ class ThreadPool {
   }
 
  private:
+  /// POD job slot: trampoline + caller-stack context (see parallelFor).
+  struct Job {
+    void (*run)(void*, int) = nullptr;
+    void* ctx = nullptr;
+  };
+  template <typename Fn>
+  struct Ctx {
+    Fn* fn;
+    std::size_t n;
+    int parts;
+  };
+  template <typename Fn>
+  static void runPart(void* c, int part) {
+    auto* x = static_cast<Ctx<Fn>*>(c);
+    const auto [b, e] = partition(x->n, x->parts, part);
+    if (b < e) (*x->fn)(part, b, e);
+  }
+
   explicit ThreadPool(int n) : nThreads_(n < 1 ? 1 : n) { startWorkers(); }
 
   static int envThreads() {
@@ -165,7 +189,7 @@ class ThreadPool {
   void workerLoop(int part, std::uint64_t seen) {
     inWorker_ = true;
     for (;;) {
-      std::function<void(int)> job;
+      Job job;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
@@ -177,9 +201,9 @@ class ThreadPool {
       // share — decrementing for it would release a future parallelFor
       // early. (With seen synced at spawn this shouldn't happen, but stay
       // safe against future bookkeeping bumps.)
-      if (!job) continue;
+      if (!job.run) continue;
       try {
-        job(part);
+        job.run(job.ctx, part);
       } catch (...) {
         std::unique_lock<std::mutex> lock(mu_);
         if (!firstErr_) firstErr_ = std::current_exception();
@@ -216,7 +240,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_, doneCv_;
-  std::function<void(int)> job_;
+  Job job_;
   std::exception_ptr firstErr_;  // first worker exception, guarded by mu_
   std::uint64_t generation_ = 0;
   int pendingParts_ = 0;

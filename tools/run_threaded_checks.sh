@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Threaded correctness gate for the solver hot path (DESIGN.md §9).
+#
+# 1. Full test suite under PT_NUM_THREADS=4: every suite must pass with the
+#    pool enabled, and the bitwise-identity tests in test_ksp_threading
+#    compare threaded results against serial ones directly.
+# 2. ThreadSanitizer over the linear-algebra and CHNS suites (the ones that
+#    drive FieldSpace kernels, pooled KSP solves, and blocked BSR SpMV
+#    through the pool), also at PT_NUM_THREADS=4.
+#
+# Usage: ./tools/run_threaded_checks.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== ctest (release, PT_NUM_THREADS=4) =="
+cmake --preset release >/dev/null
+cmake --build --preset release -- -j"$(nproc)"
+ctest --preset release-threads "$@"
+
+echo "== ctest (tsan, PT_NUM_THREADS=4, la/chns/ksp suites) =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan --target test_la test_chns test_ksp_threading \
+  -- -j"$(nproc)"
+ctest --preset tsan -R 'test_(la|chns|ksp_threading)$' "$@"
+
+echo "threaded checks passed"
