@@ -3,10 +3,17 @@
 // adaptive remeshing following the interface. Tracks the bubble centroid
 // and rise velocity over time.
 //
+// The campaign writes an auto-checkpoint rotation (ck_<step>.bin, newest
+// two kept) every 5 steps and validates the distributed invariants at the
+// end — the fault-tolerance workflow a long production run wraps around
+// this solver. Set PT_VALIDATE=1 to additionally validate after every
+// remesh.
+//
 // Run:  ./examples/rising_bubble
 #include <cstdio>
 
 #include "apps/fields.hpp"
+#include "chns/checkpoint.hpp"
 #include "chns/solver.hpp"
 #include "io/vtk.hpp"
 
@@ -61,6 +68,7 @@ int main() {
     return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.3}}, 0.15, opt.params.Cn);
   });
   s.remeshNow();  // adapt the initial mesh to the interface
+  chns::enableAutoCheckpoint(s, "rising_bubble_ck", /*every=*/5, /*keep=*/2);
 
   std::printf("rising bubble: rho ratio %.1f, eta ratio %.1f, Fr %.2f\n",
               opt.params.rhoPlus / opt.params.rhoMinus,
@@ -80,6 +88,10 @@ int main() {
   }
   std::printf("total rise: %.5f (must be > 0 for a buoyant bubble)\n",
               yPrev - y0);
+
+  s.validateNow("end of campaign");  // tree/mesh/field invariants
+  for (const auto& [step, path] : chns::listCheckpoints("rising_bubble_ck"))
+    std::printf("checkpoint step %ld: %s\n", step, path.c_str());
 
   io::writeVtk<2>("rising_bubble.vtk", s.mesh(),
                   {{"phi", &s.phi(), 1}, {"vel", &s.velocity(), 2}},

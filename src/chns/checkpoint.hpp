@@ -1,19 +1,83 @@
-// Solver-state checkpointing: serializes the octree, all CHNS fields and
-// the elemental Cahn vector; restores onto the same or a larger simulated
-// communicator (paper Sec II-E: checkpoints are written frequently and may
-// be reloaded with an increased process count, with the extra ranks
-// activating at the first repartition/remesh).
+// Solver-state checkpointing: serializes the octree, all CHNS fields, the
+// elemental Cahn vector and the timestep counter; restores onto the same, a
+// larger, or a smaller simulated communicator (paper Sec II-E: checkpoints
+// are written frequently and may be reloaded with a changed process count,
+// with extra ranks activating at the first repartition/remesh).
+//
+// Restore enforces a strict schema — exactly the fields the solver writes
+// (phi, mu, vel, p nodal; cn elemental) with the right component counts. A
+// missing, unknown, duplicated, or misshapen field is a typed
+// CheckpointError, never a silently default-initialized solver.
+//
+// The auto-checkpoint driver writes ck_<step>.bin every N steps (atomic v2
+// files), prunes to the newest keep-N, and resumeFromLatestValid walks the
+// rotation newest-first, skipping anything corrupt — the recovery loop a
+// production campaign wraps around a killed job.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "chns/solver.hpp"
 #include "io/checkpoint.hpp"
 
 namespace pt::chns {
 
+/// Verifies that `ck` holds exactly the solver's state fields with the
+/// right shapes: nodal phi/mu/p (1 dof) and vel (DIM dofs), elemental cn.
+/// Absences, unknowns, duplicates, and wrong dof counts each map to their
+/// own CkCode so tests (and operators) see precisely what broke.
 template <int DIM>
-void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver) {
+io::CkStatus solverStateSchema(const io::Checkpoint<DIM>& ck) {
+  using io::CkCode;
+  using io::CkStatus;
+  const std::pair<const char*, int> required[] = {
+      {"phi", 1}, {"mu", 1}, {"vel", DIM}, {"p", 1}};
+  bool seen[4] = {false, false, false, false};
+  for (const auto& nf : ck.nodal) {
+    int match = -1;
+    for (int i = 0; i < 4; ++i)
+      if (nf.name == required[i].first) match = i;
+    if (match < 0)
+      return CkStatus::fail(CkCode::kUnknownField,
+                            "unexpected nodal field '" + nf.name + "'");
+    if (seen[match])
+      return CkStatus::fail(CkCode::kInvalidContent,
+                            "duplicate nodal field '" + nf.name + "'");
+    seen[match] = true;
+    if (nf.ndof != required[match].second)
+      return CkStatus::fail(
+          CkCode::kFieldShapeMismatch,
+          "field '" + nf.name + "' has ndof " + std::to_string(nf.ndof) +
+              ", expected " + std::to_string(required[match].second));
+  }
+  for (int i = 0; i < 4; ++i)
+    if (!seen[i])
+      return CkStatus::fail(CkCode::kMissingField,
+                            std::string("missing nodal field '") +
+                                required[i].first + "'");
+  bool cnSeen = false;
+  for (const auto& cf : ck.cell) {
+    if (cf.name != "cn")
+      return CkStatus::fail(CkCode::kUnknownField,
+                            "unexpected cell field '" + cf.name + "'");
+    if (cnSeen)
+      return CkStatus::fail(CkCode::kInvalidContent,
+                            "duplicate cell field 'cn'");
+    cnSeen = true;
+  }
+  if (!cnSeen)
+    return CkStatus::fail(CkCode::kMissingField, "missing cell field 'cn'");
+  return {};
+}
+
+/// Builds the solver's checkpoint in memory (fields + step counter).
+template <int DIM>
+io::Checkpoint<DIM> makeSolverCheckpoint(ChnsSolver<DIM>& solver) {
   auto ck = io::makeCheckpoint<DIM>(
       solver.tree(), solver.mesh(),
       {{"phi", {&solver.phi(), 1}},
@@ -21,16 +85,27 @@ void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver) {
        {"vel", {&solver.velocity(), DIM}},
        {"p", {&solver.pressure(), 1}}},
       {{"cn", &solver.elemCn()}});
-  io::saveCheckpoint<DIM>(path, ck);
+  ck.meta.emplace_back("steps", solver.stepsTaken());
+  return ck;
 }
 
-/// Restores a solver from `path` on `comm` (comm.size() >= writer ranks).
-/// The restored tree is repartitioned across the full communicator, which
-/// activates the previously inactive ranks.
+/// Writes the solver state atomically in format v2.
 template <int DIM>
-ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm, const std::string& path,
+void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver) {
+  io::saveCheckpoint<DIM>(path, makeSolverCheckpoint(solver));
+}
+
+/// Restores a solver from an already-loaded (and format-validated)
+/// checkpoint. The strict schema runs first; the restored tree is
+/// repartitioned across the full communicator, which activates any
+/// previously inactive ranks; the step counter resumes from the stored
+/// value so remesh/auto-checkpoint cadences continue seamlessly.
+template <int DIM>
+ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm,
+                                   const io::Checkpoint<DIM>& ck,
                                    ChnsOptions<DIM> opt) {
-  auto ck = io::loadCheckpointFile<DIM>(path);
+  if (io::CkStatus st = solverStateSchema<DIM>(ck); !st.ok())
+    throw io::CheckpointError(std::move(st));
   auto restored = io::restoreCheckpoint<DIM>(comm, ck, /*redistribute=*/true);
   ChnsSolver<DIM> solver(comm, std::move(restored.tree), std::move(opt));
   for (auto& [name, field] : restored.nodal) {
@@ -41,7 +116,119 @@ ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm, const std::string& path,
   }
   for (auto& [name, vals] : restored.cell)
     if (name == "cn") solver.elemCn() = std::move(vals);
+  solver.setStepsTaken(static_cast<int>(ck.metaOr("steps", 0)));
+  if (validate::enabled()) solver.validateNow("after restore");
   return solver;
+}
+
+/// Restores a solver from `path` on `comm` (any rank count).
+template <int DIM>
+ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm, const std::string& path,
+                                   ChnsOptions<DIM> opt) {
+  auto ck = io::loadCheckpointFile<DIM>(path);
+  return restoreSolverState<DIM>(comm, ck, std::move(opt));
+}
+
+// ---------------------------------------------------------------------------
+// Auto-checkpoint rotation
+// ---------------------------------------------------------------------------
+
+/// Rotation file name for a given step count (zero-padded so lexicographic
+/// order is step order).
+inline std::string checkpointFileName(long step) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "ck_%08ld.bin", step);
+  return std::string(buf);
+}
+
+/// Checkpoints found in `dir`, as (step, path) sorted ascending by step.
+/// Only files matching the ck_<digits>.bin rotation pattern are listed;
+/// stray files (including .tmp leftovers from an interrupted write) are
+/// ignored.
+inline std::vector<std::pair<long, std::string>> listCheckpoints(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::pair<long, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 7 || name.rfind("ck_", 0) != 0 ||
+        name.substr(name.size() - 4) != ".bin")
+      continue;
+    const std::string digits = name.substr(3, name.size() - 7);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+      continue;
+    out.emplace_back(std::stol(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Deletes the oldest rotation files beyond the newest `keep`.
+inline void pruneCheckpoints(const std::string& dir, int keep) {
+  auto files = listCheckpoints(dir);
+  std::error_code ec;
+  for (std::size_t i = 0;
+       i + static_cast<std::size_t>(keep) < files.size(); ++i)
+    std::filesystem::remove(files[i].second, ec);
+}
+
+/// Installs the periodic auto-checkpoint driver: every `every` completed
+/// steps the solver writes dir/ck_<step>.bin (atomic v2) and prunes the
+/// rotation to the newest `keep` files. Replaces any previously installed
+/// post-step hook.
+template <int DIM>
+void enableAutoCheckpoint(ChnsSolver<DIM>& solver, const std::string& dir,
+                          int every, int keep = 3) {
+  PT_CHECK(every >= 1 && keep >= 1);
+  std::filesystem::create_directories(dir);
+  solver.setPostStepHook(
+      [dir, keep](ChnsSolver<DIM>& s) {
+        saveSolverState(dir + "/" + checkpointFileName(s.stepsTaken()), s);
+        pruneCheckpoints(dir, keep);
+      },
+      every);
+}
+
+/// What resumeFromLatestValid actually restored.
+struct ResumeInfo {
+  std::string path;        ///< the file restored from
+  long step = -1;          ///< its step count
+  int skippedCorrupt = 0;  ///< newer files skipped as corrupt/invalid
+};
+
+/// Restores the newest valid checkpoint in `dir`, walking backwards past
+/// corrupt or schema-violating files (e.g. a file half-written when the job
+/// died, truncated by a full disk, or bit-rotted). Throws
+/// CheckpointError(kNoValidCheckpoint) when nothing in the rotation is
+/// restorable.
+template <int DIM>
+ChnsSolver<DIM> resumeFromLatestValid(sim::SimComm& comm,
+                                      const std::string& dir,
+                                      ChnsOptions<DIM> opt,
+                                      ResumeInfo* info = nullptr) {
+  auto files = listCheckpoints(dir);
+  int skipped = 0;
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    auto lr = io::tryLoadCheckpointFile<DIM>(it->second);
+    if (lr.status.ok()) lr.status = solverStateSchema<DIM>(lr.ck);
+    if (!lr.status.ok()) {
+      ++skipped;
+      continue;
+    }
+    if (info) {
+      info->path = it->second;
+      info->step = it->first;
+      info->skippedCorrupt = skipped;
+    }
+    return restoreSolverState<DIM>(comm, lr.ck, std::move(opt));
+  }
+  throw io::CheckpointError(io::CkStatus::fail(
+      io::CkCode::kNoValidCheckpoint,
+      "no restorable checkpoint in " + dir + " (" + std::to_string(skipped) +
+          " corrupt or invalid file(s) skipped)"));
 }
 
 }  // namespace pt::chns

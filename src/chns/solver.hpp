@@ -30,6 +30,7 @@
 #include "localcahn/identifier.hpp"
 #include "amr/remesh.hpp"
 #include "support/timer.hpp"
+#include "validate/invariants.hpp"
 
 namespace pt::chns {
 
@@ -98,6 +99,38 @@ class ChnsSolver {
   const ChnsOptions<DIM>& options() const { return opt_; }
   int stepsTaken() const { return steps_; }
 
+  /// Restores the timestep counter after a restart so the remesh,
+  /// auto-checkpoint, and post-step-hook cadences continue where the
+  /// writing run left off.
+  void setStepsTaken(int steps) {
+    PT_CHECK(steps >= 0);
+    steps_ = steps;
+  }
+
+  /// Installs a hook that runs every `every` completed timesteps, after
+  /// the step's remesh (so the hook observes the state the next step will
+  /// start from). The auto-checkpoint driver is the canonical client.
+  void setPostStepHook(std::function<void(ChnsSolver&)> hook, int every = 1) {
+    PT_CHECK(every >= 1);
+    postStepHook_ = std::move(hook);
+    postStepEvery_ = every;
+  }
+  void clearPostStepHook() { postStepHook_ = nullptr; }
+
+  /// Runs the full invariant suite (tree, mesh, alignment, all solver
+  /// fields) and throws CheckError on any violation, naming `where`.
+  /// Called automatically after every remesh and restore when the
+  /// PT_VALIDATE env gate is on; callable directly from tests/examples.
+  void validateNow(const std::string& where) const {
+    validate::Report rep = validate::checkAll(tree_, *mesh_);
+    validate::checkNodalField(*mesh_, phi_, 1, "phi", rep);
+    validate::checkNodalField(*mesh_, mu_, 1, "mu", rep);
+    validate::checkNodalField(*mesh_, vel_, DIM, "vel", rep);
+    validate::checkNodalField(*mesh_, p_, 1, "p", rep);
+    validate::checkCellField(tree_, elemCn_, "cn", rep);
+    validate::enforce(rep, where);
+  }
+
   /// Sets the initial phase field by position; mu is initialized to the
   /// pointwise chemical potential (the gradient part enters via the first
   /// CH solve), velocity/pressure to rest.
@@ -122,6 +155,7 @@ class ChnsSolver {
       block(opt_.dt / opt_.blocksPerStep);
     ++steps_;
     if (opt_.remeshEvery > 0 && steps_ % opt_.remeshEvery == 0) remeshNow();
+    if (postStepHook_ && steps_ % postStepEvery_ == 0) postStepHook_(*this);
   }
 
   /// Runs the local-Cahn identifier, remeshes to the indicated levels, and
@@ -182,6 +216,8 @@ class ChnsSolver {
     elemCn_ = std::move(cnN);
     refreshMeshDependents();
     applyVelocityBc(vel_);
+    if (validate::enabled())
+      validateNow("after remesh at step " + std::to_string(steps_));
   }
 
   // ---- Diagnostics ---------------------------------------------------------
@@ -1211,6 +1247,8 @@ class ChnsSolver {
   localcahn::ElemField elemCn_;
   TimerSet timers_;
   int steps_ = 0;
+  std::function<void(ChnsSolver&)> postStepHook_;
+  int postStepEvery_ = 1;
   const Field* velOldRef_ = nullptr;  // scratch for the CH Jacobian closure
 
   // Pooled solver resources (reuseSolverResources): Krylov workspaces kept

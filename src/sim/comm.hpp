@@ -12,6 +12,8 @@
 #include <functional>
 #include <map>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -45,6 +47,25 @@ struct CommStats {
 struct KwayHierarchy {
   int k = 0;
   std::vector<long> groupSize;  ///< outermost first
+};
+
+/// Thrown when a scheduled fault fires (see SimComm::scheduleRankFailure):
+/// the simulated rank dies at a collective boundary, which in real MPI
+/// takes the whole job down — so the exception unwinds the entire
+/// simulation, exactly like an aborted run. Deliberately NOT a CheckError:
+/// a killed rank is an injected fault, not a broken invariant, and the
+/// fault-injection tests must be able to tell the two apart.
+class RankKilled : public std::runtime_error {
+ public:
+  RankKilled(int rank, long collective)
+      : std::runtime_error("simulated rank " + std::to_string(rank) +
+                           " killed at collective #" +
+                           std::to_string(collective)),
+        rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
 };
 
 class SimComm {
@@ -118,11 +139,28 @@ class SimComm {
     return out;
   }
 
-  /// Broadcast from root. Cost: log2(p) messages of the payload size.
+  /// Broadcast a single value. The value is by construction rank 0's (the
+  /// caller holds one copy, not a per-rank array), so any other root would
+  /// silently get wrong-rank semantics — hence the hard check. Use
+  /// bcastFrom for a genuine root != 0 broadcast.
+  /// Cost: log2(p) messages of the payload size.
   template <typename T>
-  PerRank<T> bcast(const T& val, int /*root*/ = 0) {
+  PerRank<T> bcast(const T& val, int root = 0) {
+    PT_CHECK_MSG(root == 0,
+                 "bcast(value, root) broadcasts the caller's single copy, "
+                 "which is rank 0's value; use bcastFrom for root != 0");
     chargeCollective(sizeof(T));
     return PerRank<T>(p_, val);
+  }
+
+  /// Broadcast from an arbitrary root: every rank receives vals[root].
+  /// Cost: log2(p) messages of the payload size.
+  template <typename T>
+  PerRank<T> bcastFrom(const PerRank<T>& vals, int root) {
+    PT_CHECK(static_cast<int>(vals.size()) == p_);
+    PT_CHECK_MSG(root >= 0 && root < p_, "bcast root out of range");
+    chargeCollective(sizeof(T));
+    return PerRank<T>(p_, vals[root]);
   }
 
   /// Allgather of one item per rank. NOTE: O(p) result per rank — the
@@ -135,7 +173,7 @@ class SimComm {
     const double t =
         time() + machine_.alpha * ceilLog2(p_) + machine_.beta * bytes;
     setAll(t);
-    ++stats_.collectives;
+    collectiveEvent();
     stats_.bytes += bytes * p_;
     return vals;
   }
@@ -197,7 +235,7 @@ class SimComm {
       tmax = std::max(tmax, t);
     }
     setAll(tmax);  // both algorithms complete collectively
-    ++stats_.collectives;
+    collectiveEvent();
     return recv;
   }
 
@@ -228,7 +266,7 @@ class SimComm {
       }
     }
     setAll(tmax);
-    ++stats_.collectives;
+    collectiveEvent();
   }
 
   /// Dense alltoallv: sendTo[src][dst] is the payload from src to dst
@@ -281,7 +319,7 @@ class SimComm {
       }
     }
     setAll(tmax);
-    ++stats_.collectives;
+    collectiveEvent();
     return recv;
   }
 
@@ -313,14 +351,41 @@ class SimComm {
     return pos->second;
   }
 
+  // ---- Fault injection (tests only) --------------------------------------
+
+  /// Arms the fault hook: after `afterCollectives` further collective
+  /// operations complete, the next one throws RankKilled(rank). Collectives
+  /// are the natural kill points of the bulk-synchronous model — every rank
+  /// reaches them together, so a death there is where a real job aborts.
+  /// The hook fires once and disarms itself.
+  void scheduleRankFailure(int rank, long afterCollectives) {
+    PT_CHECK(rank >= 0 && rank < p_);
+    PT_CHECK(afterCollectives >= 0);
+    faultRank_ = rank;
+    faultCountdown_ = afterCollectives;
+    faultArmed_ = true;
+  }
+  void cancelScheduledFailure() { faultArmed_ = false; }
+  bool failureArmed() const { return faultArmed_; }
+
  private:
   void setAll(double t) { std::fill(clock_.begin(), clock_.end(), t); }
+
+  /// Every collective funnels through here: accounting plus the armed
+  /// fault countdown.
+  void collectiveEvent() {
+    ++stats_.collectives;
+    if (!faultArmed_) return;
+    if (faultCountdown_-- > 0) return;
+    faultArmed_ = false;
+    throw RankKilled(faultRank_, stats_.collectives);
+  }
 
   void chargeCollective(double bytes) {
     const double t = time() + 2.0 * ceilLog2(p_) *
                                   (machine_.alpha + machine_.beta * bytes);
     setAll(t);
-    ++stats_.collectives;
+    collectiveEvent();
   }
 
   int p_;
@@ -328,6 +393,9 @@ class SimComm {
   std::vector<double> clock_;
   CommStats stats_;
   std::map<int, KwayHierarchy> cache_;
+  bool faultArmed_ = false;
+  int faultRank_ = 0;
+  long faultCountdown_ = 0;
 };
 
 }  // namespace pt::sim

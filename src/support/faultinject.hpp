@@ -1,0 +1,69 @@
+// File-corruption helpers for the fault-injection test harness: truncate,
+// flip a bit, or zero a byte range of an on-disk file, simulating the
+// failure modes a long campaign actually sees (job killed mid-write, full
+// disk, silent media corruption). Used with SimComm::scheduleRankFailure
+// to prove that restart either reproduces a bitwise-identical history from
+// the latest valid checkpoint or fails with a typed error.
+//
+// These are deliberately blunt instruments — no format knowledge, raw byte
+// surgery — so the checkpoint reader is exercised against arbitrary
+// corruption, not just the cases it was written for.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "support/check.hpp"
+
+namespace pt::support {
+
+/// Size of a file in bytes.
+inline std::uint64_t fileSize(const std::string& path) {
+  std::error_code ec;
+  const auto n = std::filesystem::file_size(path, ec);
+  PT_CHECK_MSG(!ec, "cannot stat " + path);
+  return static_cast<std::uint64_t>(n);
+}
+
+/// Truncates a file to `newSize` bytes (must not exceed the current size).
+inline void truncateFileTo(const std::string& path, std::uint64_t newSize) {
+  PT_CHECK_MSG(newSize <= fileSize(path), "truncation would grow " + path);
+  std::error_code ec;
+  std::filesystem::resize_file(path, newSize, ec);
+  PT_CHECK_MSG(!ec, "cannot truncate " + path);
+}
+
+/// Flips one bit of the byte at `byteOffset`.
+inline void flipBitInFile(const std::string& path, std::uint64_t byteOffset,
+                          int bit = 0) {
+  PT_CHECK(bit >= 0 && bit < 8);
+  PT_CHECK_MSG(byteOffset < fileSize(path), "flip offset past end of " + path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  PT_CHECK_MSG(f.good(), "cannot open " + path);
+  f.seekg(static_cast<std::streamoff>(byteOffset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ (1 << bit));
+  f.seekp(static_cast<std::streamoff>(byteOffset));
+  f.write(&c, 1);
+  f.flush();
+  PT_CHECK_MSG(f.good(), "bit flip failed on " + path);
+}
+
+/// Zeroes `len` bytes starting at `offset` (simulates a lost sector).
+inline void zeroRangeInFile(const std::string& path, std::uint64_t offset,
+                            std::uint64_t len) {
+  const std::uint64_t n = fileSize(path);
+  PT_CHECK_MSG(offset + len <= n, "zero range past end of " + path);
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  PT_CHECK_MSG(f.good(), "cannot open " + path);
+  f.seekp(static_cast<std::streamoff>(offset));
+  std::string zeros(static_cast<std::size_t>(len), '\0');
+  f.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  f.flush();
+  PT_CHECK_MSG(f.good(), "zeroing failed on " + path);
+}
+
+}  // namespace pt::support

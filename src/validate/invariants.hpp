@@ -1,0 +1,360 @@
+// Distributed invariant validator: one-call consistency checks for the
+// structures a restart or remesh must leave intact — the linear octree, the
+// CG mesh's ownership/ghost tables, and the fields hanging off them.
+//
+// Violations are *collected*, not thrown: a Report lists every broken
+// invariant (capped) so a failing restart can be diagnosed in one pass.
+// `enforce()` converts a non-empty report into a CheckError for callers
+// that want hard failure, and `enabled()` gates the runtime hook: setting
+// PT_VALIDATE=1 makes the solver validate after every remesh and restore.
+//
+// Checks are structural, not statistical — everything here is an exact
+// invariant of a correct build (sortedness, 2:1 balance, coverage,
+// owner = min sharer, mirror/ghost key alignment, finite field values), so
+// a single violation is a bug, never noise.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mesh/mesh.hpp"
+#include "octree/balance.hpp"
+#include "octree/distributed.hpp"
+#include "octree/tree.hpp"
+#include "support/check.hpp"
+
+namespace pt::validate {
+
+/// Collected invariant violations. Capped so a systematically broken
+/// structure (e.g. every node unowned) still produces a readable report.
+struct Report {
+  std::vector<std::string> violations;
+  std::size_t suppressed = 0;
+  static constexpr std::size_t kMaxViolations = 64;
+
+  bool ok() const { return violations.empty() && suppressed == 0; }
+  void fail(std::string msg) {
+    if (violations.size() < kMaxViolations)
+      violations.push_back(std::move(msg));
+    else
+      ++suppressed;
+  }
+  std::string str() const {
+    if (ok()) return "all invariants hold";
+    std::ostringstream ss;
+    ss << violations.size() + suppressed << " invariant violation(s):";
+    for (const auto& v : violations) ss << "\n  - " << v;
+    if (suppressed) ss << "\n  ... and " << suppressed << " more";
+    return ss.str();
+  }
+};
+
+/// True when the PT_VALIDATE environment gate is on (any value but "0").
+/// Read once — flipping the env var mid-process has no effect.
+inline bool enabled() {
+  static const bool on = [] {
+    const char* e = std::getenv("PT_VALIDATE");
+    return e != nullptr && std::string(e) != "0";
+  }();
+  return on;
+}
+
+/// Throws CheckError when the report is non-empty; `where` names the call
+/// site (e.g. "after remesh step 12") in the message.
+inline void enforce(const Report& rep, const std::string& where) {
+  PT_CHECK_MSG(rep.ok(), where + " — " + rep.str());
+}
+
+// ---------------------------------------------------------------------------
+// Tree invariants
+// ---------------------------------------------------------------------------
+
+/// Checks the distributed octree: every rank's list sorted and
+/// ancestor-free, the rank-order concatenation globally linear (which is
+/// what makes the leaf set overlap-free), 2:1 balance, and full domain
+/// coverage (the solvers assume no void regions).
+template <int DIM>
+void checkTree(const DistTree<DIM>& tree, Report& rep,
+               bool requireBalanced = true) {
+  for (int r = 0; r < tree.nRanks(); ++r)
+    if (!isLinear(tree.localOf(r)))
+      rep.fail("rank " + std::to_string(r) +
+               ": local leaf list not sorted/ancestor-free");
+  const OctList<DIM> global = tree.gather();
+  if (!isLinear(global))
+    rep.fail("global leaf concatenation not linear "
+             "(rank boundary overlap or misorder)");
+  else {
+    if (requireBalanced && !isBalanced(global))
+      rep.fail("tree violates 2:1 balance");
+    const Real vol = coveredVolume(global);
+    if (std::abs(vol - 1.0) > 1e-9)
+      rep.fail("leaves cover volume " + std::to_string(vol) +
+               " != 1 (gap or overlap)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mesh invariants
+// ---------------------------------------------------------------------------
+
+/// Checks one rank's node tables: sorted keys, complete ownership metadata
+/// (owner is the minimum sharer and the sharer list contains this rank),
+/// well-formed corner connectivity with partition-of-unity weights, and
+/// valid global ids.
+template <int DIM>
+void checkRankMesh(const RankMesh<DIM>& rm, int r, int p, Report& rep) {
+  const std::string at = "rank " + std::to_string(r) + ": ";
+  NodeKeyLess<DIM> less;
+  for (std::size_t i = 1; i < rm.nodeKeys.size(); ++i)
+    if (!less(rm.nodeKeys[i - 1], rm.nodeKeys[i])) {
+      rep.fail(at + "node keys not strictly sorted at index " +
+               std::to_string(i));
+      break;
+    }
+  const std::size_t n = rm.nNodes();
+  if (rm.nodeIds.size() != n || rm.nodeOwner.size() != n ||
+      rm.nodeSharers.size() != n) {
+    rep.fail(at + "node table sizes disagree with key count");
+    return;
+  }
+  for (std::size_t li = 0; li < n; ++li) {
+    const Rank owner = rm.nodeOwner[li];
+    const auto& sharers = rm.nodeSharers[li];
+    if (owner < 0 || owner >= p) {
+      rep.fail(at + "node " + std::to_string(li) + " owner out of range");
+      continue;
+    }
+    if (rm.nodeIds[li] == kInvalidIdx)
+      rep.fail(at + "node " + std::to_string(li) + " has no global id");
+    if (sharers.empty()) {
+      rep.fail(at + "node " + std::to_string(li) + " has empty sharer list");
+      continue;
+    }
+    if (!std::is_sorted(sharers.begin(), sharers.end()))
+      rep.fail(at + "node " + std::to_string(li) + " sharers not sorted");
+    if (owner != sharers.front())
+      rep.fail(at + "node " + std::to_string(li) +
+               " owner is not the minimum sharer");
+    if (!std::binary_search(sharers.begin(), sharers.end(), r))
+      rep.fail(at + "node " + std::to_string(li) +
+               " sharer list omits this rank");
+  }
+  // Corner connectivity: offsets monotone and exhaustive, support indices
+  // in range, weights a partition of unity per corner.
+  constexpr int kC = kNumChildren<DIM>;
+  const std::size_t nCorners = rm.nElems() * kC;
+  if (rm.cornerOffset.size() != nCorners + 1) {
+    rep.fail(at + "cornerOffset size mismatch");
+    return;
+  }
+  if (!rm.cornerOffset.empty() &&
+      rm.cornerOffset.back() != rm.supports.size())
+    rep.fail(at + "cornerOffset does not cover the support array");
+  for (std::size_t c = 0; c < nCorners; ++c) {
+    const std::uint32_t lo = rm.cornerOffset[c], hi = rm.cornerOffset[c + 1];
+    if (hi < lo || hi > rm.supports.size()) {
+      rep.fail(at + "corner " + std::to_string(c) + " offsets out of order");
+      break;
+    }
+    if (hi == lo) {
+      rep.fail(at + "corner " + std::to_string(c) + " has no supports");
+      continue;
+    }
+    Real wsum = 0;
+    bool inRange = true;
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      const auto& sup = rm.supports[s];
+      if (sup.node < 0 || static_cast<std::size_t>(sup.node) >= n)
+        inRange = false;
+      wsum += sup.weight;
+    }
+    if (!inRange)
+      rep.fail(at + "corner " + std::to_string(c) +
+               " support node index out of range");
+    if (std::abs(wsum - 1.0) > 1e-12)
+      rep.fail(at + "corner " + std::to_string(c) +
+               " support weights sum to " + std::to_string(wsum));
+  }
+}
+
+/// Cross-rank checks: every mirror list (owner side) must line up
+/// element-wise — same length, same node keys, same global ids — with the
+/// matching ghost list (sharer side); that alignment is what makes
+/// ghostRead/accumulate exchange the right values.
+template <int DIM>
+void checkExchangeLists(const Mesh<DIM>& mesh, Report& rep) {
+  const int p = mesh.nRanks();
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (const auto& [sharer, mirIdx] : rm.mirror) {
+      if (sharer < 0 || sharer >= p || sharer == r) {
+        rep.fail("rank " + std::to_string(r) + ": mirror list names rank " +
+                 std::to_string(sharer));
+        continue;
+      }
+      const RankMesh<DIM>& sm = mesh.rank(sharer);
+      const auto it = std::find_if(
+          sm.ghosts.begin(), sm.ghosts.end(),
+          [r](const auto& g) { return g.first == r; });
+      if (it == sm.ghosts.end()) {
+        rep.fail("rank " + std::to_string(r) + " mirrors to rank " +
+                 std::to_string(sharer) + " which has no ghost list back");
+        continue;
+      }
+      const auto& ghoIdx = it->second;
+      if (mirIdx.size() != ghoIdx.size()) {
+        rep.fail("mirror/ghost length mismatch between ranks " +
+                 std::to_string(r) + " and " + std::to_string(sharer));
+        continue;
+      }
+      for (std::size_t i = 0; i < mirIdx.size(); ++i) {
+        const auto& mk = rm.nodeKeys[mirIdx[i]];
+        const auto& gk = sm.nodeKeys[ghoIdx[i]];
+        if (!(mk == gk)) {
+          rep.fail("mirror/ghost key misalignment between ranks " +
+                   std::to_string(r) + " and " + std::to_string(sharer) +
+                   " at slot " + std::to_string(i));
+          break;
+        }
+        if (rm.nodeIds[mirIdx[i]] != sm.nodeIds[ghoIdx[i]]) {
+          rep.fail("shared node global-id mismatch between ranks " +
+                   std::to_string(r) + " and " + std::to_string(sharer) +
+                   " at slot " + std::to_string(i));
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Full mesh check: per-rank tables plus cross-rank exchange alignment.
+template <int DIM>
+void checkMesh(const Mesh<DIM>& mesh, Report& rep) {
+  const int p = mesh.nRanks();
+  for (int r = 0; r < p; ++r) checkRankMesh(mesh.rank(r), r, p, rep);
+  checkExchangeLists(mesh, rep);
+}
+
+/// The mesh's element lists must be the tree's leaf lists, rank for rank —
+/// the alignment every elemental field relies on.
+template <int DIM>
+void checkMeshTreeAlignment(const Mesh<DIM>& mesh, const DistTree<DIM>& tree,
+                            Report& rep) {
+  if (mesh.nRanks() != tree.nRanks()) {
+    rep.fail("mesh and tree disagree on rank count");
+    return;
+  }
+  for (int r = 0; r < mesh.nRanks(); ++r) {
+    const auto& me = mesh.rank(r).elems;
+    const auto& te = tree.localOf(r);
+    if (me.size() != te.size()) {
+      rep.fail("rank " + std::to_string(r) + ": mesh has " +
+               std::to_string(me.size()) + " elements but tree has " +
+               std::to_string(te.size()) + " leaves");
+      continue;
+    }
+    for (std::size_t e = 0; e < me.size(); ++e)
+      if (!(me[e] == te[e])) {
+        rep.fail("rank " + std::to_string(r) + ": element " +
+                 std::to_string(e) + " differs from the tree leaf");
+        break;
+      }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Field invariants
+// ---------------------------------------------------------------------------
+
+/// Nodal field: right shape on every rank and every value finite. With
+/// `requireConsistent`, shared nodes must hold bitwise-identical values on
+/// the owner and every ghost copy (true after any ghostRead/accumulate;
+/// not required mid-solve).
+template <int DIM>
+void checkNodalField(const Mesh<DIM>& mesh, const Field& f, int ndof,
+                     const std::string& name, Report& rep,
+                     bool requireConsistent = false) {
+  const int p = mesh.nRanks();
+  if (static_cast<int>(f.size()) != p) {
+    rep.fail("field '" + name + "': per-rank container size != nRanks");
+    return;
+  }
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    if (f[r].size() != rm.nNodes() * static_cast<std::size_t>(ndof)) {
+      rep.fail("field '" + name + "' rank " + std::to_string(r) +
+               ": size " + std::to_string(f[r].size()) + " != nNodes*ndof");
+      continue;
+    }
+    for (Real v : f[r])
+      if (!std::isfinite(v)) {
+        rep.fail("field '" + name + "' rank " + std::to_string(r) +
+                 " has a non-finite value");
+        break;
+      }
+  }
+  if (!requireConsistent) return;
+  for (int r = 0; r < p; ++r) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    for (const auto& [sharer, mirIdx] : rm.mirror) {
+      const RankMesh<DIM>& sm = mesh.rank(sharer);
+      const auto it = std::find_if(
+          sm.ghosts.begin(), sm.ghosts.end(),
+          [r](const auto& g) { return g.first == r; });
+      if (it == sm.ghosts.end() || it->second.size() != mirIdx.size())
+        continue;  // reported by checkExchangeLists
+      for (std::size_t i = 0; i < mirIdx.size(); ++i)
+        for (int d = 0; d < ndof; ++d)
+          if (f[r][mirIdx[i] * ndof + d] != f[sharer][it->second[i] * ndof + d]) {
+            rep.fail("field '" + name + "': ghost copy on rank " +
+                     std::to_string(sharer) + " differs from owner rank " +
+                     std::to_string(r));
+            i = mirIdx.size() - 1;
+            break;
+          }
+    }
+  }
+}
+
+/// Elemental field: one value per local leaf on every rank, all finite —
+/// the cell-field/leaf alignment a restart must preserve.
+template <int DIM>
+void checkCellField(const DistTree<DIM>& tree,
+                    const sim::PerRank<std::vector<Real>>& vals,
+                    const std::string& name, Report& rep) {
+  if (static_cast<int>(vals.size()) != tree.nRanks()) {
+    rep.fail("cell field '" + name + "': per-rank container size != nRanks");
+    return;
+  }
+  for (int r = 0; r < tree.nRanks(); ++r) {
+    if (vals[r].size() != tree.localOf(r).size()) {
+      rep.fail("cell field '" + name + "' rank " + std::to_string(r) +
+               ": " + std::to_string(vals[r].size()) + " values for " +
+               std::to_string(tree.localOf(r).size()) + " leaves");
+      continue;
+    }
+    for (Real v : vals[r])
+      if (!std::isfinite(v)) {
+        rep.fail("cell field '" + name + "' rank " + std::to_string(r) +
+                 " has a non-finite value");
+        break;
+      }
+  }
+}
+
+/// Convenience: tree + mesh + alignment in one report.
+template <int DIM>
+Report checkAll(const DistTree<DIM>& tree, const Mesh<DIM>& mesh,
+                bool requireBalanced = true) {
+  Report rep;
+  checkTree(tree, rep, requireBalanced);
+  checkMesh(mesh, rep);
+  checkMeshTreeAlignment(mesh, tree, rep);
+  return rep;
+}
+
+}  // namespace pt::validate

@@ -156,13 +156,40 @@ TEST(Checkpoint, InactiveRanksStayEmptyWithoutRedistribute) {
   for (int r = 0; r < 6; ++r) EXPECT_FALSE(restored.tree.localOf(r).empty());
 }
 
-TEST(Checkpoint, RefusesFewerRanks) {
+TEST(Checkpoint, RestoresOnFewerRanks) {
+  // Dump on 4 ranks, restart on 2: the stored leaves are re-blocked over
+  // the smaller communicator and field values survive bitwise.
   sim::SimComm commA(4, sim::Machine::loopback());
   auto dtA = DistTree<2>::fromGlobal(commA, uniformTree<2>(3));
   auto meshA = Mesh<2>::build(commA, dtA);
-  auto ck = io::makeCheckpoint<2>(dtA, meshA, {});
+  Field phiA = meshA.makeField(1);
+  fem::setByPosition<2>(meshA, phiA, 1, [](const VecN<2>& x, Real* v) {
+    v[0] = std::sin(5 * x[0]) - std::cos(3 * x[1]);
+  });
+  auto ck = io::makeCheckpoint<2>(dtA, meshA, {{"phi", {&phiA, 1}}});
   sim::SimComm commB(2, sim::Machine::loopback());
-  EXPECT_THROW(io::restoreCheckpoint<2>(commB, ck), CheckError);
+  auto restored = io::restoreCheckpoint<2>(commB, ck, /*redistribute=*/true);
+  EXPECT_EQ(restored.activeRanks, 2);
+  EXPECT_TRUE(restored.tree.globallyLinear());
+  auto a = dtA.gather(), b = restored.tree.gather();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  // Field values bitwise equal by key.
+  std::map<NodeKey<2>, Real, NodeKeyLess<2>> ref;
+  for (int r = 0; r < 4; ++r) {
+    const auto& rm = meshA.rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li)
+      ref[rm.nodeKeys[li]] = phiA[r][li];
+  }
+  ASSERT_EQ(restored.nodal.size(), 1u);
+  for (int r = 0; r < 2; ++r) {
+    const auto& rm = restored.mesh->rank(r);
+    for (std::size_t li = 0; li < rm.nNodes(); ++li) {
+      auto it = ref.find(rm.nodeKeys[li]);
+      ASSERT_TRUE(it != ref.end());
+      EXPECT_EQ(restored.nodal[0].second[r][li], it->second);  // bitwise
+    }
+  }
 }
 
 TEST(Checkpoint, CellFieldsFollowLeavesAcrossRedistribution) {

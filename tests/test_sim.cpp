@@ -42,6 +42,25 @@ TEST(SimComm, BcastDeliversEverywhere) {
   for (const auto& s : got) EXPECT_EQ(s, "hello");
 }
 
+TEST(SimComm, BcastRejectsNonZeroRoot) {
+  // bcast(value, root) only holds rank 0's copy, so a non-zero root would
+  // silently broadcast the wrong rank's data; it must hard-fail instead.
+  SimComm comm(4, Machine::loopback());
+  EXPECT_THROW(comm.bcast(std::string("hello"), 2), CheckError);
+}
+
+TEST(SimComm, BcastFromHonorsRoot) {
+  SimComm comm(4, Machine::loopback());
+  PerRank<int> vals{10, 20, 30, 40};
+  for (int root = 0; root < 4; ++root) {
+    auto got = comm.bcastFrom(vals, root);
+    ASSERT_EQ(got.size(), 4u);
+    for (int v : got) EXPECT_EQ(v, vals[root]);
+  }
+  EXPECT_THROW(comm.bcastFrom(vals, 4), CheckError);
+  EXPECT_THROW(comm.bcastFrom(vals, -1), CheckError);
+}
+
 TEST(SimComm, SparseExchangeDeliversExactPattern) {
   SimComm comm(5, Machine::loopback());
   SparseSends<int> sends(5);

@@ -4,9 +4,13 @@
 # 1. Full test suite under PT_NUM_THREADS=4: every suite must pass with the
 #    pool enabled, and the bitwise-identity tests in test_ksp_threading
 #    compare threaded results against serial ones directly.
-# 2. ThreadSanitizer over the linear-algebra and CHNS suites (the ones that
-#    drive FieldSpace kernels, pooled KSP solves, and blocked BSR SpMV
-#    through the pool), also at PT_NUM_THREADS=4.
+# 2. The checkpoint/restart and distributed-invariant gate: the full suite
+#    again under PT_VALIDATE=1, so every remesh and restart in every test
+#    runs the tree/mesh/field invariant validator (DESIGN.md §10).
+# 3. ThreadSanitizer over the linear-algebra, CHNS, and checkpoint
+#    robustness suites (the ones that drive FieldSpace kernels, pooled KSP
+#    solves, blocked BSR SpMV, and restart-under-fault paths through the
+#    pool), also at PT_NUM_THREADS=4.
 #
 # Usage: ./tools/run_threaded_checks.sh [extra ctest args]
 set -euo pipefail
@@ -17,10 +21,14 @@ cmake --preset release >/dev/null
 cmake --build --preset release -- -j"$(nproc)"
 ctest --preset release-threads "$@"
 
-echo "== ctest (tsan, PT_NUM_THREADS=4, la/chns/ksp suites) =="
+echo "== ctest (release, PT_VALIDATE=1 invariant gate) =="
+ctest --preset release-validate "$@"
+
+echo "== ctest (tsan, PT_NUM_THREADS=4, la/chns/ksp/checkpoint suites) =="
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan --target test_la test_chns test_ksp_threading \
+cmake --build --preset tsan \
+  --target test_la test_chns test_ksp_threading test_checkpoint_robustness \
   -- -j"$(nproc)"
-ctest --preset tsan -R 'test_(la|chns|ksp_threading)$' "$@"
+ctest --preset tsan -R 'test_(la|chns|ksp_threading|checkpoint_robustness)$' "$@"
 
 echo "threaded checks passed"
