@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds (Release preset) and runs the Fig 8 remesh-pipeline benchmark.
+# Produces BENCH_remesh.json in the repo root and exits nonzero if any
+# configuration's final tree/fields diverge from the baseline path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset release >/dev/null
+cmake --build --preset release --target fig8_remesh_pipeline -- -j"$(nproc)"
+
+BIN=build/bench/fig8_remesh_pipeline
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found after build" >&2
+  exit 1
+fi
+exec "$BIN" "$@"

@@ -6,6 +6,7 @@
 // baseline (the approach of p4est/Dendro cited as refs [10-15]).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -24,15 +25,22 @@ std::array<std::uint32_t, DIM> lastPoint(const Octant<DIM>& o) {
   return p;
 }
 
-/// Recursive body of Algorithm 5. `idx` is the shared input cursor.
+/// Recursive body of Algorithm 5. `idx` is the shared input cursor. When
+/// `srcOf` is non-null, the index of the input leaf each output descends
+/// from is recorded alongside the emission — at emission R satisfies
+/// R.level >= levels[idx] >= in[idx].level and overlaps(R, in[idx]), so
+/// in[idx] is the (unique) ancestor-or-equal source of R and provenance is
+/// O(1) bookkeeping on the cursor.
 template <int DIM>
 void refineRec(const OctList<DIM>& in, const std::vector<Level>& levels,
-               std::size_t& idx, OctList<DIM>& out, const Octant<DIM>& R) {
+               std::size_t& idx, OctList<DIM>& out, const Octant<DIM>& R,
+               std::vector<std::uint32_t>* srcOf) {
   if (idx >= in.size() || !overlaps(R, in[idx])) return;
   if (R.level < levels[idx]) {
     for (int c = 0; c < kNumChildren<DIM>; ++c)
-      refineRec(in, levels, idx, out, R.child(c));
+      refineRec(in, levels, idx, out, R.child(c), srcOf);
   } else {
+    if (srcOf) srcOf->push_back(static_cast<std::uint32_t>(idx));
     out.push_back(R);
     // Advance past every input leaf whose SFC-final point falls inside R:
     // R is then the last emitted descendant of that leaf.
@@ -45,17 +53,27 @@ void refineRec(const OctList<DIM>& in, const std::vector<Level>& levels,
 /// Multi-level refinement (Algorithm 5). `levels[i]` is the desired level of
 /// leaf `in[i]`; values below the leaf's own level are clamped (refinement
 /// never coarsens). Input must be linearized. Output is linearized by
-/// construction.
+/// construction. When `srcOf` is non-null it receives, per output octant,
+/// the index of the input leaf it descends from (outputs are emitted in
+/// source order) — callers that need per-output source data (coarsening
+/// votes, intergrid overlap) read it here instead of re-searching with
+/// locatePoint.
 template <int DIM>
-OctList<DIM> refine(const OctList<DIM>& in, std::vector<Level> levels) {
+OctList<DIM> refine(const OctList<DIM>& in, std::vector<Level> levels,
+                    std::vector<std::uint32_t>* srcOf = nullptr) {
   PT_CHECK(in.size() == levels.size());
   for (std::size_t i = 0; i < in.size(); ++i)
     levels[i] = std::max(levels[i], in[i].level);
   OctList<DIM> out;
   out.reserve(in.size());
+  if (srcOf) {
+    srcOf->clear();
+    srcOf->reserve(in.size());
+  }
   std::size_t idx = 0;
-  detail::refineRec(in, levels, idx, out, Octant<DIM>::root());
+  detail::refineRec(in, levels, idx, out, Octant<DIM>::root(), srcOf);
   PT_CHECK_MSG(idx == in.size(), "refine consumed all inputs");
+  PT_CHECK(!srcOf || srcOf->size() == out.size());
   return out;
 }
 

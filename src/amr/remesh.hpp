@@ -5,6 +5,7 @@
 // ("We consider proper load balancing a separate step", Sec II-C1c).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "amr/par_coarsen.hpp"
@@ -13,47 +14,147 @@
 #include "octree/distributed.hpp"
 #include "sim/comm.hpp"
 #include "support/check.hpp"
+#include "support/timer.hpp"
 
 namespace pt {
+
+/// Optional per-phase wall-clock instrumentation for remesh(). Null entries
+/// are skipped; the phases match the simulated-cost charges below and the
+/// breakdown reported by bench/fig8_remesh_pipeline.
+struct RemeshTimers {
+  Timer* refine = nullptr;       ///< Algorithm 5 + provenance votes
+  Timer* coarsen = nullptr;      ///< Algorithm 7 consensus coarsening
+  Timer* balance = nullptr;      ///< 2:1 balance restoration
+  Timer* repartition = nullptr;  ///< load-balancing repartition
+};
+
+namespace remeshwork {
+/// Per-phase work-unit constants for the simulated machine model. The old
+/// single `20.0 * leaves` charge conflated the refine traversal with the
+/// per-output locatePoint (O(log n)) vote search; with refine() emitting
+/// provenance the vote is O(1), and each phase is charged where it runs
+/// (parCoarsen and balanceDistTree charge their own items internally).
+inline constexpr double kRefinePerInput = 4.0;   ///< clamp + cursor advance
+inline constexpr double kRefinePerOutput = 6.0;  ///< child emission
+inline constexpr double kVotePerOutput = 2.0;    ///< O(1) provenance vote
+}  // namespace remeshwork
+
+namespace remeshdetail {
+struct PhaseScope {
+  explicit PhaseScope(Timer* t) : t_(t) {
+    if (t_) t_->start();
+  }
+  ~PhaseScope() {
+    if (t_) t_->stop();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Timer* t_;
+};
+}  // namespace remeshdetail
 
 /// Returns the remeshed tree. `want[r][e]` is the desired level of rank r's
 /// e-th leaf: above the current level refines (possibly many levels at
 /// once), below coarsens (subject to Algorithm 6/7 consensus).
 template <int DIM>
 DistTree<DIM> remesh(const DistTree<DIM>& tree,
-                     const sim::PerRank<std::vector<Level>>& want) {
+                     const sim::PerRank<std::vector<Level>>& want,
+                     const RemeshTimers& timers = {}) {
   sim::SimComm& comm = tree.comm();
   const int p = comm.size();
   PT_CHECK(static_cast<int>(want.size()) == p);
 
-  // Multi-level refinement, local per rank; propagate each output leaf's
-  // coarsening vote from its source leaf.
+  // Multi-level refinement, local per rank; each output leaf inherits the
+  // coarsening vote of its source leaf directly from refine()'s provenance
+  // (outputs are emitted in source order — no per-output point location).
   sim::PerRank<OctList<DIM>> refined(p);
   sim::PerRank<std::vector<Level>> accept(p);
-  for (int r = 0; r < p; ++r) {
-    const OctList<DIM>& leaves = tree.localOf(r);
-    PT_CHECK(want[r].size() == leaves.size());
-    std::vector<Level> up(leaves.size());
-    for (std::size_t i = 0; i < leaves.size(); ++i)
-      up[i] = std::max(want[r][i], leaves[i].level);
-    refined[r] = refine(leaves, up);
-    accept[r].resize(refined[r].size());
-    for (std::size_t i = 0; i < refined[r].size(); ++i) {
-      const std::int64_t src = locatePoint(leaves, refined[r][i].x);
-      PT_CHECK(src >= 0);
-      accept[r][i] = std::min(want[r][src], refined[r][i].level);
+  {
+    remeshdetail::PhaseScope ps(timers.refine);
+    std::vector<std::uint32_t> srcOf;
+    for (int r = 0; r < p; ++r) {
+      const OctList<DIM>& leaves = tree.localOf(r);
+      PT_CHECK(want[r].size() == leaves.size());
+      std::vector<Level> up(leaves.size());
+      for (std::size_t i = 0; i < leaves.size(); ++i)
+        up[i] = std::max(want[r][i], leaves[i].level);
+      refined[r] = refine(leaves, up, &srcOf);
+      accept[r].resize(refined[r].size());
+      for (std::size_t i = 0; i < refined[r].size(); ++i)
+        accept[r][i] = std::min(want[r][srcOf[i]], refined[r][i].level);
+      comm.chargeWork(
+          r, remeshwork::kRefinePerInput * leaves.size() +
+                 (remeshwork::kRefinePerOutput + remeshwork::kVotePerOutput) *
+                     refined[r].size());
     }
-    comm.chargeWork(r, 20.0 * leaves.size());
   }
 
-  // Distributed multi-level coarsening (Algorithm 7).
-  auto coarsened = parCoarsen(comm, refined, accept);
+  // Distributed multi-level coarsening (Algorithm 7); charges its own
+  // per-item work internally.
+  sim::PerRank<OctList<DIM>> coarsened;
+  {
+    remeshdetail::PhaseScope ps(timers.coarsen);
+    coarsened = parCoarsen(comm, refined, accept);
+  }
 
   DistTree<DIM> out(comm);
   out.locals() = std::move(coarsened);
-  balanceDistTree(out);
-  out.repartition();
+  {
+    remeshdetail::PhaseScope ps(timers.balance);
+    balanceDistTree(out);
+  }
+  {
+    remeshdetail::PhaseScope ps(timers.repartition);
+    out.repartition();
+  }
   return out;
+}
+
+/// Conservative zero-allocation predicate: true guarantees that
+/// remesh(tree, want) returns a tree identical to the input, so the caller
+/// can skip the remesh, mesh rebuild, transfers, and solver-cache
+/// invalidation entirely (the steady-interface fast path).
+///
+/// Sound because the output can only differ if (a) some leaf requests a
+/// level above its own (refinement), or (b) a *complete* sibling family —
+/// kNumChildren consecutive leaves of one parent in the global linearized
+/// order — unanimously votes to coarsen (Algorithm 7 consensus; any
+/// multi-level coarsening starts with such a deepest family, and balance /
+/// repartition leave an unchanged balanced partition unchanged). False
+/// negatives (e.g. a family whose collapse balance would immediately undo)
+/// fall through to the caller's exact post-remesh tree comparison.
+template <int DIM>
+bool remeshIsNoOp(const DistTree<DIM>& tree,
+                  const sim::PerRank<std::vector<Level>>& want) {
+  constexpr int kC = kNumChildren<DIM>;
+  sim::SimComm& comm = tree.comm();
+  const int p = comm.size();
+  PT_CHECK(static_cast<int>(want.size()) == p);
+  int run = 0;                 // consecutive same-parent coarsen voters
+  Octant<DIM> runParent{};     // parent of the current run
+  for (int r = 0; r < p; ++r) {
+    const OctList<DIM>& leaves = tree.localOf(r);
+    PT_CHECK(want[r].size() == leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const Octant<DIM>& o = leaves[i];
+      if (want[r][i] > o.level) return false;  // refinement requested
+      if (want[r][i] < o.level && o.level > 0) {
+        const Octant<DIM> par = o.parent();
+        if (run > 0 && par == runParent) {
+          if (++run == kC) return false;  // unanimous family: may coarsen
+        } else {
+          run = 1;
+          runParent = par;
+        }
+      } else {
+        run = 0;
+      }
+    }
+    comm.chargeWork(r, 2.0 * leaves.size());
+  }
+  return true;
 }
 
 }  // namespace pt

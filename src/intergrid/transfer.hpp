@@ -63,26 +63,63 @@ void evalInElement(const Octant<DIM>& oct, const Real* vals, int ndof,
 
 }  // namespace detail
 
+/// Old-grid routing tables for one remesh epoch: the splitter table (query
+/// routing by point owner) and the partition endpoint table (⊑ overlap
+/// searches). Both derive from the same per-rank (first, last) octants, so
+/// one allgather serves every field transferred against the same old tree —
+/// gather once per epoch with gatherTransferTables() and pass to each
+/// transferNodal / transferCell call instead of re-charging the collective
+/// per field.
+template <int DIM>
+struct TransferTables {
+  Splitters<DIM> spl;
+  PartitionEndpoints<DIM> oldEnds;
+};
+
+template <int DIM>
+TransferTables<DIM> gatherTransferTables(const DistTree<DIM>& oldTree) {
+  sim::SimComm& comm = oldTree.comm();
+  const int p = comm.size();
+  TransferTables<DIM> t;
+  t.spl.first.resize(p);
+  t.spl.hasData.resize(p);
+  for (int r = 0; r < p; ++r) {
+    const OctList<DIM>& leaves = oldTree.localOf(r);
+    t.spl.hasData[r] = !leaves.empty();
+    if (t.spl.hasData[r]) t.spl.first[r] = leaves.front();
+  }
+  t.oldEnds = PartitionEndpoints<DIM>::fromLocals(
+      p, [&](int r) -> const OctList<DIM>& { return oldTree.localOf(r); });
+  // One combined (first, last) table gather covers the whole epoch.
+  comm.allgather(sim::PerRank<std::array<Octant<DIM>, 2>>(p));
+  return t;
+}
+
 /// Query-based nodal transfer: for every node of `newMesh`, evaluate the
 /// old field at that position. Exact for positions coinciding with old
 /// nodes (injection); interpolating otherwise. Handles mixed refinement
-/// and coarsening with arbitrary level jumps.
+/// and coarsening with arbitrary level jumps. Pass `tables` (gathered once
+/// per remesh epoch) to skip the per-field splitter allgather.
 template <int DIM>
 Field transferNodal(const Mesh<DIM>& oldMesh, const Field& oldF,
-                    const Mesh<DIM>& newMesh, int ndof) {
+                    const Mesh<DIM>& newMesh, int ndof,
+                    const TransferTables<DIM>* tables = nullptr) {
   sim::SimComm& comm = oldMesh.comm();
   const int p = comm.size();
   constexpr int kC = kNumChildren<DIM>;
 
   // Old-grid splitters for routing point queries.
-  Splitters<DIM> spl;
-  spl.first.resize(p);
-  spl.hasData.resize(p);
-  for (int r = 0; r < p; ++r) {
-    spl.hasData[r] = !oldMesh.rank(r).elems.empty();
-    if (spl.hasData[r]) spl.first[r] = oldMesh.rank(r).elems.front();
+  Splitters<DIM> splLocal;
+  if (!tables) {
+    splLocal.first.resize(p);
+    splLocal.hasData.resize(p);
+    for (int r = 0; r < p; ++r) {
+      splLocal.hasData[r] = !oldMesh.rank(r).elems.empty();
+      if (splLocal.hasData[r]) splLocal.first[r] = oldMesh.rank(r).elems.front();
+    }
+    comm.allgather(sim::PerRank<Octant<DIM>>(p));  // charge the table gather
   }
-  comm.allgather(sim::PerRank<Octant<DIM>>(p));  // charge the table gather
+  const Splitters<DIM>& spl = tables ? tables->spl : splLocal;
 
   Field out = newMesh.makeField(ndof);
   // Collect queries per destination; remember where each answer goes.
@@ -290,10 +327,11 @@ template <int DIM>
 sim::PerRank<std::vector<Real>> transferCell(
     const DistTree<DIM>& oldTree,
     const sim::PerRank<std::vector<Real>>& oldVals,
-    const DistTree<DIM>& newTree) {
+    const DistTree<DIM>& newTree,
+    const TransferTables<DIM>* tables = nullptr) {
   sim::SimComm& comm = oldTree.comm();
   const int p = comm.size();
-  const Splitters<DIM> spl = oldTree.splitters();
+  const Splitters<DIM> spl = tables ? tables->spl : oldTree.splitters();
 
   sim::PerRank<std::vector<Real>> out(p);
   // Round 1: center query per new cell -> (old level, value).
@@ -376,9 +414,13 @@ sim::PerRank<std::vector<Real>> transferCell(
   }
   // Round 2: queries whose covered volume is incomplete go to the full
   // overlapped rank range (excluding the already-answered center owner).
-  auto oldEnds = PartitionEndpoints<DIM>::fromLocals(
-      p, [&](int r) -> const OctList<DIM>& { return oldTree.localOf(r); });
-  comm.allgather(sim::PerRank<Octant<DIM>>(p));
+  PartitionEndpoints<DIM> endsLocal;
+  if (!tables) {
+    endsLocal = PartitionEndpoints<DIM>::fromLocals(
+        p, [&](int r) -> const OctList<DIM>& { return oldTree.localOf(r); });
+    comm.allgather(sim::PerRank<Octant<DIM>>(p));
+  }
+  const PartitionEndpoints<DIM>& oldEnds = tables ? tables->oldEnds : endsLocal;
   sim::SparseSends<std::uint32_t> sends2(p);
   sim::PerRank<std::vector<std::vector<std::size_t>>> pending2(p);
   for (int r = 0; r < p; ++r) pending2[r].resize(p);

@@ -30,6 +30,7 @@
 #include "sim/comm.hpp"
 #include "sim/sort.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 #include "support/types.hpp"
 
 namespace pt {
@@ -225,6 +226,25 @@ CellAnswer<DIM> answerCellQuery(
   return {true, leaves[idx].level, isCornerOf<DIM>(v, leaves[idx])};
 }
 
+/// Runs fn(r) for every simulated rank, in parallel over the ThreadPool when
+/// it has workers (same contract as the fem::matvec rank loop, which mesh.hpp
+/// cannot include without a cycle): each body touches only rank-r state and
+/// charges only rank r, and is itself serial — so results are bitwise
+/// identical for any thread count.
+template <typename Fn>
+void forEachRankMesh(int p, Fn&& fn) {
+  support::ThreadPool& pool = support::ThreadPool::instance();
+  if (pool.threads() > 1 && p > 1) {
+    pool.parallelFor(static_cast<std::size_t>(p),
+                     [&](int, std::size_t b, std::size_t e) {
+                       for (std::size_t r = b; r < e; ++r)
+                         fn(static_cast<int>(r));
+                     });
+  } else {
+    for (int r = 0; r < p; ++r) fn(r);
+  }
+}
+
 }  // namespace meshdetail
 
 /// Builds the MATVEC traversal plan for one rank (see ElemPlan). O(nElems *
@@ -313,7 +333,7 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
   sim::PerRank<std::vector<std::vector<PendingQuery>>> pending(p);
   for (int r = 0; r < p; ++r) pending[r].resize(p);
 
-  for (int r = 0; r < p; ++r) {
+  meshdetail::forEachRankMesh(p, [&](int r) {
     const auto& elems = mesh.ranks_[r].elems;
     hanging[r].assign(elems.size() * kC, 0);
     std::vector<std::vector<std::uint32_t>> qBuf(p);
@@ -359,12 +379,12 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
     }
     for (int dst = 0; dst < p; ++dst)
       if (!qBuf[dst].empty()) qSends[r].emplace_back(dst, std::move(qBuf[dst]));
-  }
+  });
   auto qRecv = comm.sparseExchange(qSends);
   // Answer remote queries in arrival order; reply payload: one byte-ish
   // word per query: 1 = hanging-evidence (found, coarser, not corner).
   sim::SparseSends<std::uint32_t> aSends(p);
-  for (int r = 0; r < p; ++r) {
+  meshdetail::forEachRankMesh(p, [&](int r) {
     const auto& elems = mesh.ranks_[r].elems;
     for (const auto& [src, buf] : qRecv[r]) {
       const std::size_t nq = buf.size() / (2 * DIM + 1);
@@ -382,7 +402,7 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
       }
       aSends[r].emplace_back(src, std::move(ans));
     }
-  }
+  });
   auto aRecv = comm.sparseExchange(aSends);
   for (int r = 0; r < p; ++r) {
     for (const auto& [src, ans] : aRecv[r]) {
@@ -394,7 +414,9 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
   }
 
   // ---- Phase 2: support keys and local node tables -------------------------
-  for (int r = 0; r < p; ++r) {
+  // Entirely rank-local (collect keys, sort/dedup, map supports) — threaded
+  // across ranks.
+  meshdetail::forEachRankMesh(p, [&](int r) {
     RankMesh<DIM>& rm = mesh.ranks_[r];
     const auto& elems = rm.elems;
     rm.cornerIsHanging = hanging[r];
@@ -444,7 +466,7 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
       rm.cornerOffset[slot + 1] =
           static_cast<std::uint32_t>(rm.supports.size());
     }
-  }
+  });
 
   // ---- Phase 3: global dedup / ownership / sharers (outsourcing) ----------
   {
@@ -583,10 +605,10 @@ Mesh<DIM> Mesh<DIM>::build(sim::SimComm& comm, const DistTree<DIM>& tree) {
   }
 
   // ---- Phase 6: MATVEC traversal plans (local, no communication) -----------
-  for (int r = 0; r < p; ++r) {
+  meshdetail::forEachRankMesh(p, [&](int r) {
     buildElemPlan(mesh.ranks_[r]);
     comm.chargeWork(r, 2.0 * kC * mesh.ranks_[r].nElems());
-  }
+  });
   return mesh;
 }
 

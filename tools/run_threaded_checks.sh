@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Threaded correctness gate for the solver hot path (DESIGN.md §9).
+# Threaded correctness gate for the solver hot path and remesh pipeline
+# (DESIGN.md §9, §11).
 #
 # 1. Full test suite under PT_NUM_THREADS=4: every suite must pass with the
-#    pool enabled, and the bitwise-identity tests in test_ksp_threading
-#    compare threaded results against serial ones directly.
+#    pool enabled, and the bitwise-identity tests in test_ksp_threading and
+#    test_remesh_fastpath compare threaded results against serial ones
+#    directly.
 # 2. The checkpoint/restart and distributed-invariant gate: the full suite
 #    again under PT_VALIDATE=1, so every remesh and restart in every test
 #    runs the tree/mesh/field invariant validator (DESIGN.md §10).
-# 3. ThreadSanitizer over the linear-algebra, CHNS, and checkpoint
-#    robustness suites (the ones that drive FieldSpace kernels, pooled KSP
-#    solves, blocked BSR SpMV, and restart-under-fault paths through the
-#    pool), also at PT_NUM_THREADS=4.
+# 3. ThreadSanitizer over the linear-algebra, CHNS, checkpoint robustness,
+#    and remesh fast-path suites (the ones that drive FieldSpace kernels,
+#    pooled KSP solves, blocked BSR SpMV, restart-under-fault paths, and
+#    the threaded identify/mesh-build loops through the pool), also at
+#    PT_NUM_THREADS=4.
+# 4. The remesh fast-path suite once more under tsan with PT_VALIDATE=1,
+#    so the no-op early exits and incremental rebuilds are invariant-checked
+#    while racing the pool.
 #
 # Usage: ./tools/run_threaded_checks.sh [extra ctest args]
 set -euo pipefail
@@ -24,11 +30,16 @@ ctest --preset release-threads "$@"
 echo "== ctest (release, PT_VALIDATE=1 invariant gate) =="
 ctest --preset release-validate "$@"
 
-echo "== ctest (tsan, PT_NUM_THREADS=4, la/chns/ksp/checkpoint suites) =="
+echo "== ctest (tsan, PT_NUM_THREADS=4, la/chns/ksp/checkpoint/remesh suites) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan \
   --target test_la test_chns test_ksp_threading test_checkpoint_robustness \
+  test_remesh_fastpath \
   -- -j"$(nproc)"
-ctest --preset tsan -R 'test_(la|chns|ksp_threading|checkpoint_robustness)$' "$@"
+ctest --preset tsan \
+  -R 'test_(la|chns|ksp_threading|checkpoint_robustness|remesh_fastpath)$' "$@"
+
+echo "== tsan + PT_VALIDATE=1 remesh fast-path suite =="
+PT_VALIDATE=1 ctest --preset tsan -R 'test_remesh_fastpath$' "$@"
 
 echo "threaded checks passed"
