@@ -12,7 +12,8 @@
 //
 // Operator: Helmholtz-type massCoef*M + stiffCoef*K, ndof = 5, on a 3D
 // adaptive mesh with hanging corners. Wrap with bench/run_matvec_bench.sh
-// to dump BENCH_matvec.json.
+// to dump BENCH_matvec.json (unified "pt-bench-v1" schema from
+// obs/report.hpp, same as the fig5/fig8 benches).
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -21,6 +22,7 @@
 #include "fem/matvec.hpp"
 #include "fem/matvec_batched.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/report.hpp"
 #include "octree/balance.hpp"
 #include "support/buildinfo.hpp"
 #include "support/thread_pool.hpp"
@@ -144,10 +146,23 @@ BENCHMARK(BM_MatvecPlannedBatchedThreads)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Console output plus capture of every run for the pt-bench-v1 report.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs)
+      if (!r.error_occurred && r.run_type == Run::RT_Iteration)
+        captured.push_back(r);
+    ConsoleReporter::ReportRuns(runs);
+  }
+  std::vector<Run> captured;
+};
+
 }  // namespace
 
-// Custom main so a PT_MATVEC_TIMERS build (the `profile` preset) prints the
-// per-phase breakdown accumulated across all benchmark iterations.
+// Custom main: a PT_MATVEC_TIMERS build (the `profile` preset) prints the
+// per-phase breakdown accumulated across all benchmark iterations, and the
+// captured runs are re-emitted as BENCH_matvec.json in the unified schema.
 int main(int argc, char** argv) {
   pt::support::requireReleaseBuild("fig4_matvec_throughput");
   benchmark::Initialize(&argc, argv);
@@ -155,13 +170,41 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("pt_build_type", pt::support::buildType());
   benchmark::AddCustomContext("pt_optimized",
                               pt::support::buildIsOptimized() ? "1" : "0");
-  benchmark::RunSpecifiedBenchmarks();
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  pt::obs::BenchReport rep("fig4_matvec_throughput");
+  rep.info["build_type"] = pt::support::buildType();
+  rep.info["workload"] = "3D adaptive Helmholtz matvec, ndof=5, levels 2-5";
+  for (const auto& run : reporter.captured) {
+    pt::obs::BenchConfig c;
+    c.name = run.benchmark_name();
+    // Per-iteration real time in seconds (run.time_unit only affects the
+    // console display; accumulated times are seconds).
+    const double iters = run.iterations > 0 ? double(run.iterations) : 1.0;
+    c.metrics["real_time_sec"] = run.real_accumulated_time / iters;
+    c.metrics["cpu_time_sec"] = run.cpu_accumulated_time / iters;
+    auto it = run.counters.find("items_per_second");
+    if (it != run.counters.end())
+      c.metrics["items_per_sec"] = double(it->second);
+    rep.configs.push_back(std::move(c));
+  }
 #ifdef PT_MATVEC_TIMERS
   std::printf("\nMATVEC phase breakdown (all variants pooled):\n");
-  for (const auto& [name, t] : pt::fem::matvecTimers().all())
+  pt::obs::BenchConfig phasesCfg;
+  phasesCfg.name = "matvec-phases-pooled";
+  for (const auto& [name, t] : pt::fem::matvecPhases().all()) {
     std::printf("  %-12s %10.3f s  (%ld calls)\n", name.c_str(), t.seconds(),
                 t.calls());
+    phasesCfg.phases.emplace(name, t);
+  }
+  rep.configs.push_back(std::move(phasesCfg));
 #endif
+  if (!rep.write("BENCH_matvec.json")) {
+    std::perror("BENCH_matvec.json");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_matvec.json\n");
   return 0;
 }

@@ -20,9 +20,11 @@
 // generic runtime-block-size loop at bs=4 (the DIM+2 coupled-system size)
 // on an FEM-like sparsity, asserting bitwise-equal products.
 //
-// Emits BENCH_solver.json (wrapped by bench/run_solver_bench.sh, which
+// Emits BENCH_solver.json in the unified "pt-bench-v1" schema
+// (obs/report.hpp; validated by tools/trace_summary.py, diffed by
+// tools/bench_compare.py). Wrapped by bench/run_solver_bench.sh, which
 // builds the release preset first; a debug build aborts in
-// requireReleaseBuild before any number is produced).
+// requireReleaseBuild before any number is produced.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -34,6 +36,7 @@
 #include "apps/fields.hpp"
 #include "chns/solver.hpp"
 #include "la/seqmat.hpp"
+#include "obs/report.hpp"
 #include "support/buildinfo.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -62,6 +65,7 @@ struct ConfigResult {
   std::string name;
   std::vector<StepRecord> steps;
   double medianStepSec = 0;
+  std::map<std::string, obs::PhaseStat> phases;  ///< cumulative, watched only
 };
 
 double median(std::vector<double> v) {
@@ -128,6 +132,9 @@ ConfigResult runConfig(const std::string& name, bool reuse, int threads) {
   std::vector<double> stepSecs;
   for (const auto& r : res.steps) stepSecs.push_back(r.solveSec);
   res.medianStepSec = median(stepSecs);
+  for (auto& [name2, stat] : s.timers().all())
+    if (std::find(watched.begin(), watched.end(), name2) != watched.end())
+      res.phases.emplace(name2, stat);
   support::ThreadPool::instance().setThreads(1);
   return res;
 }
@@ -195,52 +202,44 @@ BsrResult benchBsr() {
 }
 
 void writeJson(const std::vector<ConfigResult>& cfgs, const BsrResult& bsr) {
-  std::FILE* f = std::fopen("BENCH_solver.json", "w");
-  if (!f) {
+  obs::BenchReport rep("fig5_solver_breakdown");
+  rep.info["build_type"] = support::buildType();
+  rep.info["workload"] = "2D drop, uniform level-" + std::to_string(kLevel) +
+                         ", " + std::to_string(kSteps) +
+                         " steps, dt=1e-3, Cn=0.03";
+  rep.info["histories_identical"] = "true";
+  for (const auto& cfg : cfgs) {
+    obs::BenchConfig c;
+    c.name = cfg.name;
+    c.metrics["median_step_solver_sec"] = cfg.medianStepSec;
+    c.phases = cfg.phases;
+    long long chNewton = 0, chLin = 0, ns = 0, pp = 0, vu = 0;
+    for (const auto& r : cfg.steps) {
+      c.series["solver_sec"].push_back(r.solveSec);
+      chNewton += r.chNewton;
+      chLin += r.chLin;
+      ns += r.ns;
+      pp += r.pp;
+      vu += r.vu;
+    }
+    c.counters["ch_newton_iters"] = chNewton;
+    c.counters["ch_ksp_iters"] = chLin;
+    c.counters["ns_ksp_iters"] = ns;
+    c.counters["pp_ksp_iters"] = pp;
+    c.counters["vu_ksp_iters"] = vu;
+    rep.configs.push_back(std::move(c));
+  }
+  rep.derived["speedup_pooled_serial"] =
+      cfgs[0].medianStepSec / cfgs[1].medianStepSec;
+  rep.derived["speedup_pooled_2t"] =
+      cfgs[0].medianStepSec / cfgs[2].medianStepSec;
+  rep.derived["bsr_bs4_generic_sec"] = bsr.genericSec;
+  rep.derived["bsr_bs4_blocked_sec"] = bsr.blockedSec;
+  rep.derived["bsr_bs4_speedup"] = bsr.speedup;
+  if (!rep.write("BENCH_solver.json")) {
     std::perror("BENCH_solver.json");
     std::exit(1);
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"build_type\": \"%s\",\n", support::buildType());
-  std::fprintf(f, "  \"workload\": {\"dim\": 2, \"level\": %d, \"steps\": %d, "
-                  "\"dt\": 1e-3, \"Cn\": 0.03},\n",
-               kLevel, kSteps);
-  std::fprintf(f, "  \"configs\": [\n");
-  for (std::size_t c = 0; c < cfgs.size(); ++c) {
-    const auto& cfg = cfgs[c];
-    std::fprintf(f, "    {\"name\": \"%s\",\n", cfg.name.c_str());
-    std::fprintf(f, "     \"median_step_solver_sec\": %.6f,\n",
-                 cfg.medianStepSec);
-    std::fprintf(f, "     \"steps\": [\n");
-    for (std::size_t st = 0; st < cfg.steps.size(); ++st) {
-      const auto& r = cfg.steps[st];
-      std::fprintf(f,
-                   "       {\"ch_newton\": %d, \"ch_lin\": %d, \"ns\": %d, "
-                   "\"pp\": %d, \"vu\": %d,\n",
-                   r.chNewton, r.chLin, r.ns, r.pp, r.vu);
-      std::fprintf(f, "        \"solver_sec\": %.6f, \"timers\": {", r.solveSec);
-      bool first = true;
-      for (const auto& [k, v] : r.timers) {
-        std::fprintf(f, "%s\"%s\": %.6f", first ? "" : ", ", k.c_str(), v);
-        first = false;
-      }
-      std::fprintf(f, "}}%s\n", st + 1 < cfg.steps.size() ? "," : "");
-    }
-    std::fprintf(f, "     ]}%s\n", c + 1 < cfgs.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"histories_identical\": true,\n");
-  std::fprintf(f, "  \"speedup_pooled_serial\": %.3f,\n",
-               cfgs[0].medianStepSec / cfgs[1].medianStepSec);
-  std::fprintf(f, "  \"speedup_pooled_2t\": %.3f,\n",
-               cfgs[0].medianStepSec / cfgs[2].medianStepSec);
-  std::fprintf(f,
-               "  \"bsr_bs4\": {\"generic_sec\": %.6e, \"blocked_sec\": "
-               "%.6e, \"speedup\": %.3f, \"bitwise_equal\": %s}\n",
-               bsr.genericSec, bsr.blockedSec, bsr.speedup,
-               bsr.bitwiseEqual ? "true" : "false");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
 }
 
 }  // namespace

@@ -23,8 +23,10 @@
 // the bench exits nonzero on any mismatch. A final timed solver step gives
 // the remesh-to-solve cost fraction.
 //
-// Emits BENCH_remesh.json (wrapped by bench/run_remesh_bench.sh; a debug
-// build aborts in requireReleaseBuild before any number is produced).
+// Emits BENCH_remesh.json in the unified "pt-bench-v1" schema
+// (obs/report.hpp; validated by tools/trace_summary.py, diffed by
+// tools/bench_compare.py). Wrapped by bench/run_remesh_bench.sh; a debug
+// build aborts in requireReleaseBuild before any number is produced.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -36,6 +38,7 @@
 
 #include "apps/fields.hpp"
 #include "chns/solver.hpp"
+#include "obs/report.hpp"
 #include "support/buildinfo.hpp"
 #include "support/thread_pool.hpp"
 
@@ -56,7 +59,7 @@ struct ConfigResult {
   std::string name;
   double remeshTotalSec = 0;  ///< median-of-trials sum over kRemeshCalls
   double stepSec = 0;         ///< one CHNS step on the final adapted mesh
-  std::map<std::string, double> phaseSec;  ///< summed over the call sequence
+  std::map<std::string, obs::PhaseStat> phases;  ///< summed over the sequence
   long noopRemeshes = 0, meshRebuilds = 0, cacheInvalidations = 0;
   // Bitwise identity gate.
   std::vector<std::size_t> leafCounts;
@@ -113,7 +116,9 @@ ConfigResult runConfig(const std::string& name, bool fast, int threads) {
     if (trial + 1 < kTrials) continue;
     // Last trial: record phase breakdown, counters, fingerprints, and one
     // timed solver step on the final adapted mesh.
-    for (const char* ph : kPhases) res.phaseSec[ph] = s.timers()[ph].seconds();
+    for (const char* ph : kPhases)
+      res.phases.emplace(
+          ph, obs::PhaseStat(s.timers()[ph].seconds(), s.timers()[ph].calls()));
     res.noopRemeshes = s.noopRemeshes();
     res.meshRebuilds = s.meshRebuilds();
     res.cacheInvalidations = s.cacheInvalidations();
@@ -143,50 +148,38 @@ bool sameState(const ConfigResult& a, const ConfigResult& b) {
 }
 
 void writeJson(const std::vector<ConfigResult>& cfgs) {
-  std::FILE* f = std::fopen("BENCH_remesh.json", "w");
-  if (!f) {
+  obs::BenchReport rep("fig8_remesh_pipeline");
+  rep.info["build_type"] = support::buildType();
+  rep.info["hardware_threads"] =
+      std::to_string(std::thread::hardware_concurrency());
+  rep.info["workload"] =
+      "2D drop, " + std::to_string(kRanks) + " ranks, coarse 3 -> interface " +
+      "7, " + std::to_string(kRemeshCalls) + " remesh calls, " +
+      std::to_string(kTrials) + " trials, Cn=0.02";
+  rep.info["states_identical"] = "true";
+  for (const auto& cfg : cfgs) {
+    obs::BenchConfig c;
+    c.name = cfg.name;
+    c.metrics["remesh_total_sec"] = cfg.remeshTotalSec;
+    c.metrics["step_sec"] = cfg.stepSec;
+    c.phases = cfg.phases;
+    c.counters["noop_remeshes"] = cfg.noopRemeshes;
+    c.counters["mesh_rebuilds"] = cfg.meshRebuilds;
+    c.counters["cache_invalidations"] = cfg.cacheInvalidations;
+    rep.configs.push_back(std::move(c));
+  }
+  rep.derived["speedup_fast_serial"] =
+      cfgs[0].remeshTotalSec / cfgs[1].remeshTotalSec;
+  rep.derived["speedup_fast_4t"] =
+      cfgs[0].remeshTotalSec / cfgs[2].remeshTotalSec;
+  rep.derived["remesh_to_solve_fraction_baseline"] =
+      cfgs[0].remeshTotalSec / kRemeshCalls / cfgs[0].stepSec;
+  rep.derived["remesh_to_solve_fraction_fast"] =
+      cfgs[1].remeshTotalSec / kRemeshCalls / cfgs[1].stepSec;
+  if (!rep.write("BENCH_remesh.json")) {
     std::perror("BENCH_remesh.json");
     std::exit(1);
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"build_type\": \"%s\",\n", support::buildType());
-  std::fprintf(f, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f,
-               "  \"workload\": {\"dim\": 2, \"ranks\": %d, \"coarse_level\": "
-               "3, \"interface_level\": 7, \"remesh_calls\": %d, \"trials\": "
-               "%d, \"Cn\": 0.02},\n",
-               kRanks, kRemeshCalls, kTrials);
-  std::fprintf(f, "  \"configs\": [\n");
-  for (std::size_t c = 0; c < cfgs.size(); ++c) {
-    const auto& cfg = cfgs[c];
-    std::fprintf(f, "    {\"name\": \"%s\",\n", cfg.name.c_str());
-    std::fprintf(f, "     \"remesh_total_sec\": %.6f,\n", cfg.remeshTotalSec);
-    std::fprintf(f, "     \"step_sec\": %.6f,\n", cfg.stepSec);
-    std::fprintf(f,
-                 "     \"noop_remeshes\": %ld, \"mesh_rebuilds\": %ld, "
-                 "\"cache_invalidations\": %ld,\n",
-                 cfg.noopRemeshes, cfg.meshRebuilds, cfg.cacheInvalidations);
-    std::fprintf(f, "     \"phases_sec\": {");
-    bool first = true;
-    for (const auto& [k, v] : cfg.phaseSec) {
-      std::fprintf(f, "%s\"%s\": %.6f", first ? "" : ", ", k.c_str(), v);
-      first = false;
-    }
-    std::fprintf(f, "}}%s\n", c + 1 < cfgs.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"states_identical\": true,\n");
-  std::fprintf(f, "  \"speedup_fast_serial\": %.3f,\n",
-               cfgs[0].remeshTotalSec / cfgs[1].remeshTotalSec);
-  std::fprintf(f, "  \"speedup_fast_4t\": %.3f,\n",
-               cfgs[0].remeshTotalSec / cfgs[2].remeshTotalSec);
-  std::fprintf(f, "  \"remesh_to_solve_fraction_baseline\": %.4f,\n",
-               cfgs[0].remeshTotalSec / kRemeshCalls / cfgs[0].stepSec);
-  std::fprintf(f, "  \"remesh_to_solve_fraction_fast\": %.4f\n",
-               cfgs[1].remeshTotalSec / kRemeshCalls / cfgs[1].stepSec);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
 }
 
 }  // namespace
@@ -217,8 +210,8 @@ int main() {
         "invalidations %ld)   step %7.3f s\n",
         cfg.name.c_str(), cfg.remeshTotalSec, cfg.noopRemeshes,
         cfg.meshRebuilds, cfg.cacheInvalidations, cfg.stepSec);
-    for (const auto& [k, v] : cfg.phaseSec)
-      std::printf("  %-20s %8.4f s\n", k.c_str(), v);
+    for (const auto& [k, v] : cfg.phases)
+      std::printf("  %-20s %8.4f s\n", k.c_str(), v.seconds());
   }
 
   const double spSerial = cfgs[0].remeshTotalSec / cfgs[1].remeshTotalSec;

@@ -20,7 +20,10 @@ if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN missing after release build" >&2
   exit 1
 fi
-exec "$BIN" \
-  --benchmark_out=BENCH_matvec.json \
-  --benchmark_out_format=json \
-  "$@"
+# The binary itself writes BENCH_matvec.json in the unified pt-bench-v1
+# schema (obs/report.hpp) after the google-benchmark run.
+"$BIN" "$@"
+
+# Schema gate: a malformed BENCH_matvec.json fails the run. Compare runs
+# with tools/bench_compare.py.
+python3 tools/trace_summary.py BENCH_matvec.json

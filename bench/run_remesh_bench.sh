@@ -13,4 +13,8 @@ if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found after build" >&2
   exit 1
 fi
-exec "$BIN" "$@"
+"$BIN" "$@"
+
+# Schema gate: a malformed BENCH_remesh.json fails the run (pt-bench-v1,
+# tools/trace_summary.py). Compare runs with tools/bench_compare.py.
+python3 tools/trace_summary.py BENCH_remesh.json

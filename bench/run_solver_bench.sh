@@ -19,4 +19,8 @@ if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN missing after release build" >&2
   exit 1
 fi
-exec "$BIN" "$@"
+"$BIN" "$@"
+
+# Schema gate: a malformed BENCH_solver.json fails the run (pt-bench-v1,
+# tools/trace_summary.py). Compare runs with tools/bench_compare.py.
+python3 tools/trace_summary.py BENCH_solver.json

@@ -5,12 +5,17 @@
 // proper runs at a lower level. Reports the element-fraction-per-level
 // histogram (the paper's Fig 8 diagnostic) as the run progresses.
 //
+// Telemetry: every step appends one pt-step-v1 JSONL record to
+// jet_atomization_steps.jsonl (override with PT_STEP_REPORT; summarize with
+// tools/trace_summary.py). PT_TRACE=out.json captures a Chrome trace.
+//
 // Run:  ./examples/jet_atomization
 #include <cstdio>
 
 #include "apps/fields.hpp"
 #include "chns/solver.hpp"
 #include "io/vtk.hpp"
+#include "obs/report.hpp"
 
 using namespace pt;
 
@@ -113,8 +118,15 @@ int main() {
               jetR, int(opt.coarseLevel), int(opt.interfaceLevel),
               int(opt.featureLevel));
   printHistogram(0);
+  s.telemetry().ranks.setEnabled(true);
+  obs::StepReporter report;
+  if (!report.openFromEnv()) report.open("jet_atomization_steps.jsonl");
   for (int step = 1; step <= 12; ++step) {
     s.step();
+    report.writeStep(step, s.timers(), s.telemetry().metrics,
+                     s.telemetry().ranks.all(),
+                     {{"t", step * opt.dt},
+                      {"elems", double(s.mesh().globalElemCount())}});
     if (step % 3 == 0) printHistogram(step);
   }
 

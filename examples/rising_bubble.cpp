@@ -9,6 +9,11 @@
 // this solver. Set PT_VALIDATE=1 to additionally validate after every
 // remesh.
 //
+// Telemetry (DESIGN.md section 12): every step appends one pt-step-v1
+// JSONL record to rising_bubble_steps.jsonl (override the path with
+// PT_STEP_REPORT; summarize with tools/trace_summary.py). PT_TRACE=out.json
+// additionally captures a Chrome trace of the solver/remesh/matvec spans.
+//
 // Run:  ./examples/rising_bubble
 #include <cstdio>
 
@@ -16,6 +21,7 @@
 #include "chns/checkpoint.hpp"
 #include "chns/solver.hpp"
 #include "io/vtk.hpp"
+#include "obs/report.hpp"
 
 using namespace pt;
 
@@ -70,6 +76,10 @@ int main() {
   s.remeshNow();  // adapt the initial mesh to the interface
   chns::enableAutoCheckpoint(s, "rising_bubble_ck", /*every=*/5, /*keep=*/2);
 
+  s.telemetry().ranks.setEnabled(true);  // per-rank imbalance in the report
+  obs::StepReporter report;
+  if (!report.openFromEnv()) report.open("rising_bubble_steps.jsonl");
+
   std::printf("rising bubble: rho ratio %.1f, eta ratio %.1f, Fr %.2f\n",
               opt.params.rhoPlus / opt.params.rhoMinus,
               opt.params.etaPlus / opt.params.etaMinus, opt.params.Fr);
@@ -84,6 +94,13 @@ int main() {
     std::printf("%-6d %-10.4f %-12.6f %-12.4e %-10.3e %-8zu\n", step,
                 step * opt.dt, y, (y - yPrev) / opt.dt, s.maxVelocity(),
                 s.mesh().globalElemCount());
+    report.writeStep(step, s.timers(), s.telemetry().metrics,
+                     s.telemetry().ranks.all(),
+                     {{"t", step * opt.dt},
+                      {"centroid_y", y},
+                      {"rise_vel", (y - yPrev) / opt.dt},
+                      {"max_vel", s.maxVelocity()},
+                      {"elems", double(s.mesh().globalElemCount())}});
     yPrev = y;
   }
   std::printf("total rise: %.5f (must be > 0 for a buoyant bubble)\n",

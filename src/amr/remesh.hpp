@@ -12,20 +12,23 @@
 #include "amr/refine.hpp"
 #include "octree/balance.hpp"
 #include "octree/distributed.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "sim/comm.hpp"
 #include "support/check.hpp"
-#include "support/timer.hpp"
 
 namespace pt {
 
 /// Optional per-phase wall-clock instrumentation for remesh(). Null entries
 /// are skipped; the phases match the simulated-cost charges below and the
-/// breakdown reported by bench/fig8_remesh_pipeline.
+/// breakdown reported by bench/fig8_remesh_pipeline. Phases are atomic
+/// obs accumulators (the lap clock stays on the measuring scope's stack),
+/// so a RemeshTimers can point into a shared PhaseSet from any thread.
 struct RemeshTimers {
-  Timer* refine = nullptr;       ///< Algorithm 5 + provenance votes
-  Timer* coarsen = nullptr;      ///< Algorithm 7 consensus coarsening
-  Timer* balance = nullptr;      ///< 2:1 balance restoration
-  Timer* repartition = nullptr;  ///< load-balancing repartition
+  obs::Phase* refine = nullptr;       ///< Algorithm 5 + provenance votes
+  obs::Phase* coarsen = nullptr;      ///< Algorithm 7 consensus coarsening
+  obs::Phase* balance = nullptr;      ///< 2:1 balance restoration
+  obs::Phase* repartition = nullptr;  ///< load-balancing repartition
 };
 
 namespace remeshwork {
@@ -40,18 +43,20 @@ inline constexpr double kVotePerOutput = 2.0;    ///< O(1) provenance vote
 }  // namespace remeshwork
 
 namespace remeshdetail {
+/// Times one remesh phase into an optional obs::Phase (begin timestamp on
+/// this stack frame) and opens a trace span for the phase name.
 struct PhaseScope {
-  explicit PhaseScope(Timer* t) : t_(t) {
-    if (t_) t_->start();
+  PhaseScope(obs::Phase* t, const char* name) : t_(t), span_(name) {
+    if (t_) lap_.begin();
   }
-  ~PhaseScope() {
-    if (t_) t_->stop();
-  }
+  ~PhaseScope() { lap_.end(t_); }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
-  Timer* t_;
+  obs::Phase* t_;
+  obs::PhaseLap lap_;
+  obs::SpanScope span_;
 };
 }  // namespace remeshdetail
 
@@ -72,7 +77,7 @@ DistTree<DIM> remesh(const DistTree<DIM>& tree,
   sim::PerRank<OctList<DIM>> refined(p);
   sim::PerRank<std::vector<Level>> accept(p);
   {
-    remeshdetail::PhaseScope ps(timers.refine);
+    remeshdetail::PhaseScope ps(timers.refine, "remesh-refine");
     std::vector<std::uint32_t> srcOf;
     for (int r = 0; r < p; ++r) {
       const OctList<DIM>& leaves = tree.localOf(r);
@@ -95,18 +100,18 @@ DistTree<DIM> remesh(const DistTree<DIM>& tree,
   // per-item work internally.
   sim::PerRank<OctList<DIM>> coarsened;
   {
-    remeshdetail::PhaseScope ps(timers.coarsen);
+    remeshdetail::PhaseScope ps(timers.coarsen, "remesh-coarsen");
     coarsened = parCoarsen(comm, refined, accept);
   }
 
   DistTree<DIM> out(comm);
   out.locals() = std::move(coarsened);
   {
-    remeshdetail::PhaseScope ps(timers.balance);
+    remeshdetail::PhaseScope ps(timers.balance, "remesh-balance");
     balanceDistTree(out);
   }
   {
-    remeshdetail::PhaseScope ps(timers.repartition);
+    remeshdetail::PhaseScope ps(timers.repartition, "remesh-repartition");
     out.repartition();
   }
   return out;

@@ -29,7 +29,7 @@
 #include "la/pc.hpp"
 #include "localcahn/identifier.hpp"
 #include "amr/remesh.hpp"
-#include "support/timer.hpp"
+#include "obs/telemetry.hpp"
 #include "validate/invariants.hpp"
 
 namespace pt::chns {
@@ -92,6 +92,7 @@ class ChnsSolver {
 
   ChnsSolver(sim::SimComm& comm, DistTree<DIM> tree, ChnsOptions<DIM> opt)
       : comm_(&comm), opt_(std::move(opt)), tree_(std::move(tree)) {
+    tel_->ranks.attach(comm_);
     rebuildMesh();
   }
 
@@ -102,15 +103,20 @@ class ChnsSolver {
   Field& velocity() { return vel_; }
   Field& pressure() { return p_; }
   localcahn::ElemField& elemCn() { return elemCn_; }
-  TimerSet& timers() { return timers_; }
+  /// Per-phase wall-clock accumulators (thread-safe obs::PhaseSet; the name
+  /// predates the TimerSet -> obs migration and is kept for call sites).
+  obs::PhaseSet& timers() { return timers_; }
+  /// The full telemetry bundle: phases, metrics registry, per-rank stats.
+  obs::Telemetry<sim::SimComm>& telemetry() { return *tel_; }
   const ChnsOptions<DIM>& options() const { return opt_; }
   int stepsTaken() const { return steps_; }
 
   // Remesh-pipeline accounting (asserted by tests/test_remesh_fastpath and
-  // reported by bench/fig8_remesh_pipeline).
-  long meshRebuilds() const { return meshRebuilds_; }
-  long cacheInvalidations() const { return cacheInvalidations_; }
-  long noopRemeshes() const { return noopRemeshes_; }
+  // reported by bench/fig8_remesh_pipeline). Backed by obs counters in the
+  // metrics registry; the long-returning accessors are the stable API.
+  long meshRebuilds() const { return meshRebuilds_->value(); }
+  long cacheInvalidations() const { return cacheInvalidations_->value(); }
+  long noopRemeshes() const { return noopRemeshes_->value(); }
 
   /// Restores the timestep counter after a restart so the remesh,
   /// auto-checkpoint, and post-step-hook cadences continue where the
@@ -164,6 +170,7 @@ class ChnsSolver {
   /// One full timestep (two blocks of the four solves by default), plus
   /// remesh + identify + transfer at the configured cadence.
   void step() {
+    PT_SPAN("step");
     for (int b = 0; b < opt_.blocksPerStep; ++b)
       block(opt_.dt / opt_.blocksPerStep);
     ++steps_;
@@ -174,10 +181,11 @@ class ChnsSolver {
   /// Runs the local-Cahn identifier, remeshes to the indicated levels, and
   /// transfers all fields to the new mesh.
   void remeshNow() {
-    ScopedTimer st(timers_["remesh"]);
+    obs::TimedSpan st(timers_, "remesh");
+    typename obs::RankPhases<sim::SimComm>::Scope rs(tel_->ranks, "remesh");
     sim::PerRank<std::vector<Level>> want;
     {
-    ScopedTimer it(timers_["remesh-identify"]);
+    obs::TimedSpan it(timers_, "remesh-identify");
     if (opt_.cnStages.empty()) {
       elemCn_ = localcahn::identifyLocalCahn(*mesh_, phi_,
                                              opt_.referenceLevel,
@@ -235,7 +243,7 @@ class ChnsSolver {
       if (!noop) noop = remeshIsNoOp(tree_, want);
       comm_->allreduceMax(sim::PerRank<Real>(mesh_->nRanks(), 0.0));
       if (noop) {
-        ++noopRemeshes_;
+        noopRemeshes_->inc();
         lastNoopWant_ = std::move(want);
         wantIsMemoizedNoop_ = true;
         if (validate::enabled())
@@ -255,7 +263,7 @@ class ChnsSolver {
       for (int r = 0; r < mesh_->nRanks() && same; ++r)
         same = newTree.localOf(r) == tree_.localOf(r);
       if (same) {
-        ++noopRemeshes_;
+        noopRemeshes_->inc();
         lastNoopWant_ = std::move(want);
         wantIsMemoizedNoop_ = true;
         if (validate::enabled())
@@ -266,9 +274,9 @@ class ChnsSolver {
     wantIsMemoizedNoop_ = false;
     std::unique_ptr<Mesh<DIM>> newMesh;
     {
-      ScopedTimer bt(timers_["remesh-meshbuild"]);
+      obs::TimedSpan bt(timers_, "remesh-meshbuild");
       newMesh = std::make_unique<Mesh<DIM>>(Mesh<DIM>::build(*comm_, newTree));
-      ++meshRebuilds_;
+      meshRebuilds_->inc();
     }
     // Transfer node-centered state, then cell-centered Cn. The fast path
     // gathers the old-grid routing tables once for the whole epoch; the
@@ -276,7 +284,7 @@ class ChnsSolver {
     Field phiN, muN, velN, pN;
     localcahn::ElemField cnN;
     {
-      ScopedTimer tt(timers_["remesh-transfer"]);
+      obs::TimedSpan tt(timers_, "remesh-transfer");
       const intergrid::TransferTables<DIM> tables =
           opt_.remeshFastPath ? intergrid::gatherTransferTables(tree_)
                               : intergrid::TransferTables<DIM>{};
@@ -374,7 +382,7 @@ class ChnsSolver {
 
   void rebuildMesh() {
     mesh_ = std::make_unique<Mesh<DIM>>(Mesh<DIM>::build(*comm_, tree_));
-    ++meshRebuilds_;
+    meshRebuilds_->inc();
     wantIsMemoizedNoop_ = false;
     phi_ = mesh_->makeField(1);
     mu_ = mesh_->makeField(1);
@@ -410,7 +418,7 @@ class ChnsSolver {
   /// stale-shaped workspace vectors or factorizations must never survive a
   /// remesh.
   void invalidateSolverCaches() {
-    ++cacheInvalidations_;
+    cacheInvalidations_->inc();
     chWs_.clear();
     nsWs_.clear();
     ppWs_.clear();
@@ -482,15 +490,43 @@ class ChnsSolver {
   // ---- One block of the two-block scheme ------------------------------------
 
   void block(Real dt) {
-    chSolve(dt);
-    nsSolve(dt);
-    ppSolve(dt);
-    vuSolve(dt);
+    // Per-simulated-rank phase attribution (PT_RANK_STATS): snapshots the
+    // SimComm rank clocks around each solve; local folding only, no
+    // collectives, so CommStats are unperturbed.
+    using RankScope = typename obs::RankPhases<sim::SimComm>::Scope;
+    {
+      RankScope rs(tel_->ranks, "ch-solve");
+      chSolve(dt);
+    }
+    {
+      RankScope rs(tel_->ranks, "ns-solve");
+      nsSolve(dt);
+    }
+    {
+      RankScope rs(tel_->ranks, "pp-solve");
+      ppSolve(dt);
+    }
+    {
+      RankScope rs(tel_->ranks, "vu-solve");
+      vuSolve(dt);
+    }
+    // Per-solve iteration metrics: cumulative counters plus per-solve
+    // distributions of the Krylov/Newton iteration counts.
+    obs::Registry& m = tel_->metrics;
+    m.counter("ch-newton-iters").inc(lastChNewton_.iterations);
+    m.counter("ch-ksp-iters").inc(lastChNewton_.totalLinearIterations);
+    m.counter("ns-ksp-iters").inc(lastNs_.iterations);
+    m.counter("pp-ksp-iters").inc(lastPp_.iterations);
+    m.counter("vu-ksp-iters").inc(lastVuIterations_);
+    m.histogram("ksp-iters-ch").add(lastChNewton_.totalLinearIterations);
+    m.histogram("ksp-iters-ns").add(lastNs_.iterations);
+    m.histogram("ksp-iters-pp").add(lastPp_.iterations);
+    m.histogram("ksp-iters-vu").add(lastVuIterations_);
   }
 
   // CH-solve: Newton on U = (phi, mu), ndof = 2.
   void chSolve(Real dt) {
-    ScopedTimer st(timers_["ch-solve"]);
+    obs::TimedSpan st(timers_, "ch-solve");
     la::FieldSpace<DIM> S(*mesh_, 2);
     S.attachVecTimer(&timers_["ch-vec"]);
     const Params& P = opt_.params;
@@ -510,7 +546,7 @@ class ChnsSolver {
     constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
 
     auto residual = [&, dt](const Field& u, Field& F) {
-      ScopedTimer ot(timers_["ch-op"]);
+      obs::TimedSpan ot(timers_, "ch-op");
       fem::matvecIndexed<DIM>(
           *mesh_, u, F, 2,
           [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
@@ -574,7 +610,7 @@ class ChnsSolver {
         // Newton iteration.
         const Field* up = &u;
         return [this, dt, up, &quad, &bt](const Field& x, Field& y) {
-          ScopedTimer ot(timers_["ch-op"]);
+          obs::TimedSpan ot(timers_, "ch-op");
           constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
           const Field& u = *up;
           const Params& P = opt_.params;
@@ -628,7 +664,7 @@ class ChnsSolver {
         };
       }
       {
-        ScopedTimer ot(timers_["ch-op"]);
+        obs::TimedSpan ot(timers_, "ch-op");
         chJCoef_.resize(mesh_->nRanks());
         std::array<Real, std::size_t(kC) * 2> uu;
         std::array<Real, std::size_t(kC) * DIM> vo;
@@ -666,7 +702,7 @@ class ChnsSolver {
         }
       }
       return [this, dt, &quad, &bt](const Field& x, Field& y) {
-        ScopedTimer ot(timers_["ch-op"]);
+        obs::TimedSpan ot(timers_, "ch-op");
         constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
         constexpr int kJq = 3 + 2 * DIM;
         const Params& P = opt_.params;
@@ -723,7 +759,7 @@ class ChnsSolver {
     };
 
     auto assembleChDiag = [&, dt]() -> Field {
-      ScopedTimer at(timers_["ch-assemble"]);
+      obs::TimedSpan at(timers_, "ch-assemble");
       return la::assembleDiagonalBlocks<DIM>(
           *mesh_, 2,
           [&, dt](const Octant<DIM>& oct, Real* Ae) {
@@ -757,7 +793,7 @@ class ChnsSolver {
         return [this, M0 = la::makeBlockJacobiUnfactored(*mesh_, 2,
                                                          assembleChDiag())](
                    const Field& r, Field& z) {
-          ScopedTimer pt(timers_["ch-pc"]);
+          obs::TimedSpan pt(timers_, "ch-pc");
           M0(r, z);
         };
       }
@@ -770,7 +806,7 @@ class ChnsSolver {
         chPcDt_ = dt;
       }
       return [this](const Field& r, Field& z) {
-        ScopedTimer pt(timers_["ch-pc"]);
+        obs::TimedSpan pt(timers_, "ch-pc");
         chPc_(r, z);
       };
     };
@@ -791,7 +827,7 @@ class ChnsSolver {
 
   // NS-solve: linearized semi-implicit momentum for v*.
   void nsSolve(Real dt) {
-    ScopedTimer st(timers_["ns-solve"]);
+    obs::TimedSpan st(timers_, "ns-solve");
     la::FieldSpace<DIM> S(*mesh_, DIM);
     S.attachVecTimer(&timers_["ns-vec"]);
     const Params& P = opt_.params;
@@ -827,7 +863,7 @@ class ChnsSolver {
     // the baseline path re-gathers them on every Krylov apply.
     constexpr int kNsQ = 2 + 2 * DIM;
     if (opt_.reuseSolverResources) {
-      ScopedTimer ot(timers_["ns-op"]);
+      obs::TimedSpan ot(timers_, "ns-op");
       nsCoef_.resize(mesh_->nRanks());
       std::array<Real, kC> ph, muv;
       std::array<Real, std::size_t(kC) * DIM> vo;
@@ -864,7 +900,7 @@ class ChnsSolver {
     la::LinOp<Field> Araw;
     if (opt_.reuseSolverResources) {
       Araw = [&, dt](const Field& x, Field& y) {
-        ScopedTimer ot(timers_["ns-op"]);
+        obs::TimedSpan ot(timers_, "ns-op");
         fem::matvecIndexed<DIM>(
             *mesh_, x, y, DIM,
             [&, dt](int r, std::size_t e, const Octant<DIM>& /*oct*/,
@@ -913,7 +949,7 @@ class ChnsSolver {
       };
     } else {
       Araw = [&, dt](const Field& x, Field& y) {
-        ScopedTimer ot(timers_["ns-op"]);
+        obs::TimedSpan ot(timers_, "ns-op");
         fem::matvecIndexed<DIM>(
             *mesh_, x, y, DIM,
             [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
@@ -963,7 +999,7 @@ class ChnsSolver {
     // Weak RHS.
     Field rhs = mesh_->makeField(DIM);
     {
-      ScopedTimer at(timers_["ns-assemble"]);
+      obs::TimedSpan at(timers_, "ns-assemble");
       std::vector<Real> ph(kC), muv(kC), vo(kC * DIM), pr(kC);
       fem::assembleRhs<DIM>(
           *mesh_, rhs, DIM,
@@ -1026,7 +1062,7 @@ class ChnsSolver {
     // state-independent, so the factorized blocks are cached per (mesh, dt)
     // and reused across time steps when resource reuse is on.
     auto assembleNsDiag = [&, dt]() -> Field {
-      ScopedTimer at(timers_["ns-assemble"]);
+      obs::TimedSpan at(timers_, "ns-assemble");
       return la::assembleDiagonalBlocks<DIM>(
           *mesh_, DIM, [&, dt](const Octant<DIM>& oct, Real* Ae) {
             const auto& refM = fem::refMass<DIM>();
@@ -1052,14 +1088,14 @@ class ChnsSolver {
         nsPcDt_ = dt;
       }
       M = [this](const Field& r, Field& z) {
-        ScopedTimer pt(timers_["ns-pc"]);
+        obs::TimedSpan pt(timers_, "ns-pc");
         nsPc_(r, z);
       };
     } else {
       M = [this, M0 = la::makeBlockJacobiUnfactored(*mesh_, DIM,
                                                     assembleNsDiag())](
               const Field& r, Field& z) {
-        ScopedTimer pt(timers_["ns-pc"]);
+        obs::TimedSpan pt(timers_, "ns-pc");
         M0(r, z);
       };
     }
@@ -1073,7 +1109,7 @@ class ChnsSolver {
 
   // PP-solve: variable-density pressure Poisson for the increment dp.
   void ppSolve(Real dt) {
-    ScopedTimer st(timers_["pp-solve"]);
+    obs::TimedSpan st(timers_, "pp-solve");
     la::FieldSpace<DIM> S(*mesh_, 1);
     S.attachVecTimer(&timers_["pp-vec"]);
     const Params& P = opt_.params;
@@ -1086,7 +1122,7 @@ class ChnsSolver {
     // ppCoef_ instead of re-gathering phi on every apply (bitwise-equal:
     // same coefficient value enters the same expression).
     if (opt_.reuseSolverResources) {
-      ScopedTimer ot(timers_["pp-op"]);
+      obs::TimedSpan ot(timers_, "pp-op");
       ppCoef_.resize(mesh_->nRanks());
       std::array<Real, kC> ph;
       for (int r = 0; r < mesh_->nRanks(); ++r) {
@@ -1108,7 +1144,7 @@ class ChnsSolver {
     la::LinOp<Field> A;
     if (opt_.reuseSolverResources) {
       A = [&, dt](const Field& x, Field& y) {
-        ScopedTimer ot(timers_["pp-op"]);
+        obs::TimedSpan ot(timers_, "pp-op");
         fem::matvecIndexed<DIM>(
             *mesh_, x, y, 1,
             [&](int r, std::size_t e, const Octant<DIM>& oct,
@@ -1140,7 +1176,7 @@ class ChnsSolver {
       };
     } else {
       A = [&, dt](const Field& x, Field& y) {
-        ScopedTimer ot(timers_["pp-op"]);
+        obs::TimedSpan ot(timers_, "pp-op");
         fem::matvecIndexed<DIM>(
             *mesh_, x, y, 1,
             [&, dt](int r, std::size_t e, const Octant<DIM>& oct,
@@ -1173,7 +1209,7 @@ class ChnsSolver {
 
     Field rhs = mesh_->makeField(1);
     {
-      ScopedTimer at(timers_["pp-assemble"]);
+      obs::TimedSpan at(timers_, "pp-assemble");
       std::vector<Real> vs(kC * DIM);
       fem::assembleRhs<DIM>(
           *mesh_, rhs, 1,
@@ -1200,7 +1236,7 @@ class ChnsSolver {
     // with kernel deflation so the Krylov space stays orthogonal to the
     // constants (otherwise singular-system CG eventually diverges).
     auto assemblePpDiag = [&, dt]() -> Field {
-      ScopedTimer at(timers_["pp-assemble"]);
+      obs::TimedSpan at(timers_, "pp-assemble");
       return la::assembleDiagonalBlocks<DIM>(
           *mesh_, 1, [&, dt](const Octant<DIM>& oct, Real* Ae) {
             const auto& refK = fem::refStiffness<DIM>();
@@ -1217,14 +1253,14 @@ class ChnsSolver {
         ppPcDt_ = dt;
       }
       M = [this](const Field& r, Field& z) {
-        ScopedTimer pt(timers_["pp-pc"]);
+        obs::TimedSpan pt(timers_, "pp-pc");
         ppPc0_(r, z);
         projectNodalMean(z);
       };
     } else {
       M = [this, M0 = la::makeJacobi(*mesh_, 1, assemblePpDiag())](
               const Field& r, Field& z) {
-        ScopedTimer pt(timers_["pp-pc"]);
+        obs::TimedSpan pt(timers_, "pp-pc");
         M0(r, z);
         projectNodalMean(z);
       };
@@ -1241,7 +1277,7 @@ class ChnsSolver {
   // VU-solve: per-direction velocity correction with the reused mass
   // operator/preconditioner.
   void vuSolve(Real dt) {
-    ScopedTimer st(timers_["vu-solve"]);
+    obs::TimedSpan st(timers_, "vu-solve");
     la::FieldSpace<DIM> S(*mesh_, 1);
     S.attachVecTimer(&timers_["vu-vec"]);
     const Params& P = opt_.params;
@@ -1250,7 +1286,7 @@ class ChnsSolver {
     constexpr int nq = fem::Quadrature<DIM, 2>::kPoints;
 
     la::LinOp<Field> Mop = [&](const Field& x, Field& y) {
-      ScopedTimer ot(timers_["vu-op"]);
+      obs::TimedSpan ot(timers_, "vu-op");
       fem::massMatvec(*mesh_, x, y);
     };
     la::LinOp<Field> pc;
@@ -1259,13 +1295,13 @@ class ChnsSolver {
       // closure (and its copy of the diagonal) across solves too.
       if (!vuPc_) vuPc_ = la::makeJacobi(*mesh_, 1, vuDiag_);
       pc = [this](const Field& r, Field& z) {
-        ScopedTimer pt(timers_["vu-pc"]);
+        obs::TimedSpan pt(timers_, "vu-pc");
         vuPc_(r, z);
       };
     } else {
       pc = [this, M0 = la::makeJacobi(*mesh_, 1, vuDiag_)](const Field& r,
                                                            Field& z) {
-        ScopedTimer pt(timers_["vu-pc"]);
+        obs::TimedSpan pt(timers_, "vu-pc");
         M0(r, z);
       };
     }
@@ -1276,7 +1312,7 @@ class ChnsSolver {
       Field rhs = mesh_->makeField(1);
       {
         std::vector<Real> vs(kC * DIM), dpl(kC), ph(kC);
-        ScopedTimer at(timers_["vu-assemble"]);
+        obs::TimedSpan at(timers_, "vu-assemble");
         fem::assembleRhs<DIM>(
             *mesh_, rhs, 1,
             [&, a, dt](int r, std::size_t e, const Octant<DIM>& oct,
@@ -1329,11 +1365,22 @@ class ChnsSolver {
   std::unique_ptr<Mesh<DIM>> mesh_;
   Field phi_, mu_, vel_, p_, velStar_, dp_, mask_, vuDiag_;
   localcahn::ElemField elemCn_;
-  TimerSet timers_;
+  /// Telemetry bundle, heap-allocated so the solver stays movable (the
+  /// bundle holds mutexes): a move transfers the pointer, and the cached
+  /// phase reference / counter pointers below keep aiming at the same
+  /// heap object. Declared before them — they initialize from it.
+  std::unique_ptr<obs::Telemetry<sim::SimComm>> tel_ =
+      std::make_unique<obs::Telemetry<sim::SimComm>>();
+  obs::PhaseSet& timers_ = tel_->phases;
+  // Remesh-pipeline counters, cached out of the metrics registry so the
+  // hot-path increments skip the name lookup.
+  obs::Counter* meshRebuilds_ =
+      &tel_->metrics.counter("meshRebuilds");  ///< Mesh::build invocations
+  obs::Counter* cacheInvalidations_ = &tel_->metrics.counter(
+      "cacheInvalidations");  ///< invalidateSolverCaches invocations
+  obs::Counter* noopRemeshes_ = &tel_->metrics.counter(
+      "noopRemeshes");  ///< remeshNow calls that changed nothing
   int steps_ = 0;
-  long meshRebuilds_ = 0;        ///< Mesh::build invocations
-  long cacheInvalidations_ = 0;  ///< invalidateSolverCaches invocations
-  long noopRemeshes_ = 0;        ///< remeshNow calls that changed nothing
   /// Tier-0 no-op memo: the want vector of the last no-op verdict, valid
   /// only while tree_ is unchanged (dropped on every rebuild).
   sim::PerRank<std::vector<Level>> lastNoopWant_;

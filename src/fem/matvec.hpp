@@ -30,34 +30,31 @@
 
 #include "fem/elem_ops.hpp"
 #include "mesh/mesh.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
-#include "support/timer.hpp"
 #include "support/types.hpp"
 
 namespace pt::fem {
 
 // ---- Per-phase instrumentation (compile-time opt-in) -----------------------
 // With PT_MATVEC_TIMERS defined, the engine accumulates wall-clock per phase
-// (gather / kernel / scatter / accumulate) into this registry. The registry
-// is shared and unsynchronized, so the macros gate on the pool being serial
-// at runtime: with more than one participant (where rank/batch loops may run
-// concurrently) they resolve to no-ops, making the flag safe to combine with
-// PT_THREADS — only single-thread runs record times (the intended use: a
-// serial breakdown to cite in perf PRs).
+// (gather / kernel / scatter / accumulate) into this obs::PhaseSet. The old
+// TimerSet-based version had to runtime-gate to serial pools because timers
+// carried shared start/stop state; Phase accumulators are atomic and the lap
+// clock lives on each thread's stack (obs::PhaseLap), so the macros are
+// active for ANY pool size — threaded runs now record per-phase times too,
+// including from inside ThreadPool workers.
 #ifdef PT_MATVEC_TIMERS
-inline TimerSet& matvecTimers() {
-  static TimerSet ts;
-  return ts;
+inline obs::PhaseSet& matvecPhases() {
+  static obs::PhaseSet ps;
+  return ps;
 }
-inline bool matvecTimersActive() {
-  return support::ThreadPool::instance().threads() == 1;
-}
-#define PT_MV_TIMER(var, name)                                        \
-  ::pt::Timer* var = ::pt::fem::matvecTimersActive()                  \
-                         ? &::pt::fem::matvecTimers()[name]           \
-                         : nullptr
-#define PT_MV_START(var) ((var) ? (var)->start() : void(0))
-#define PT_MV_STOP(var) ((var) ? (var)->stop() : void(0))
+#define PT_MV_TIMER(var, name)                                \
+  ::pt::obs::Phase* var = &::pt::fem::matvecPhases()[name];   \
+  ::pt::obs::PhaseLap var##Lap
+#define PT_MV_START(var) (var##Lap.begin())
+#define PT_MV_STOP(var) (var##Lap.end(var))
 #else
 #define PT_MV_TIMER(var, name) ((void)0)
 #define PT_MV_START(var) ((void)0)
@@ -175,6 +172,7 @@ void forEachRank(int p, F&& fn) {
   if (pool.threads() > 1 && p > 1) {
     pool.parallelFor(static_cast<std::size_t>(p),
                      [&fn](int, std::size_t b, std::size_t e) {
+                       PT_SPAN("matvec-ranks");
                        for (std::size_t r = b; r < e; ++r)
                          fn(static_cast<int>(r), false);
                      });
@@ -217,22 +215,33 @@ void applyRankAdd(const RankMesh<DIM>& rm, const std::vector<Real>& x,
 
   // Windowed: parallel gather+kernel into scratch, sequential in-order
   // scatter — the scatter order (and hence the result) matches the serial
-  // loop bit-for-bit.
+  // loop bit-for-bit. Workers time gather/kernel into the shared atomic
+  // phases and open a span each, so the threaded timeline is visible.
   std::vector<Real> scratch(kMatvecWindow * stride);
+  PT_MV_TIMER(tsc, "scatter");
   for (std::size_t w0 = 0; w0 < n; w0 += kMatvecWindow) {
     const std::size_t w1 = std::min(n, w0 + kMatvecWindow);
     pool.parallelFor(w1 - w0, [&](int, std::size_t b, std::size_t e) {
+      PT_SPAN("matvec-window");
+      PT_MV_TIMER(tg, "gather");
+      PT_MV_TIMER(tk, "kernel");
       std::vector<Real> uLoc(stride);
       for (std::size_t i = b; i < e; ++i) {
         const std::size_t el = w0 + i;
         Real* out = scratch.data() + i * stride;
+        PT_MV_START(tg);
         gatherElem(rm, el, x, ndof, uLoc.data());
+        PT_MV_STOP(tg);
+        PT_MV_START(tk);
         std::fill(out, out + stride, 0.0);
         kernel(el, rm.elems[el], uLoc.data(), out);
+        PT_MV_STOP(tk);
       }
     });
+    PT_MV_START(tsc);
     for (std::size_t i = 0; i < w1 - w0; ++i)
       scatterAddElem(rm, w0 + i, scratch.data() + i * stride, ndof, y);
+    PT_MV_STOP(tsc);
   }
 }
 
@@ -245,6 +254,7 @@ void applyRankAdd(const RankMesh<DIM>& rm, const std::vector<Real>& x,
 template <int DIM, typename Kernel>
 void matvecIndexed(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
                    Kernel&& kernel) {
+  PT_SPAN("matvec");
   const int p = mesh.nRanks();
   matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
     const RankMesh<DIM>& rm = mesh.rank(r);

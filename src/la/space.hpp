@@ -21,12 +21,13 @@
 // concurrent reductions on one FieldSpace from two threads are a caller bug.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <functional>
 
 #include "mesh/mesh.hpp"
+#include "obs/phase.hpp"
 #include "support/thread_pool.hpp"
-#include "support/timer.hpp"
 
 namespace pt::la {
 
@@ -60,9 +61,12 @@ class FieldSpace {
     }
   }
 
-  /// Accumulating timer for all vector-op time spent through this space
-  /// (solver phase breakdowns). Pass nullptr to detach.
-  void attachVecTimer(Timer* t) const { vecTimer_ = t; }
+  /// Accumulating phase for all vector-op time spent through this space
+  /// (solver phase breakdowns). Pass nullptr to detach. The phase is only
+  /// touched at the outermost vector-op boundary on the coordinator; the
+  /// in-flight begin timestamp lives in this space (coordinator-only, like
+  /// all its mutable scratch), so the shared Phase sees only atomic adds.
+  void attachVecTimer(obs::Phase* t) const { vecPhase_ = t; }
 
   Real dot(const V& a, const V& b) const {
     VecScope scope(*this);
@@ -270,14 +274,19 @@ class FieldSpace {
   }
 
   // Re-entrancy-aware timing scope: only the outermost vector op on this
-  // space starts/stops the attached timer (norm() calls dot(), axpyNorm2
-  // charges as two ops but runs as one).
+  // space measures into the attached phase (norm() calls dot(), axpyNorm2
+  // charges as two ops but runs as one). The begin timestamp is a member of
+  // the space, not the shared Phase, so concurrent spaces never race.
   struct VecScope {
     explicit VecScope(const FieldSpace& s) : s_(s) {
-      if (s_.vecTimer_ && s_.timerDepth_++ == 0) s_.vecTimer_->start();
+      if (s_.vecPhase_ && s_.vecDepth_++ == 0)
+        s_.vecBegin_ = std::chrono::steady_clock::now();
     }
     ~VecScope() {
-      if (s_.vecTimer_ && --s_.timerDepth_ == 0) s_.vecTimer_->stop();
+      if (s_.vecPhase_ && --s_.vecDepth_ == 0)
+        s_.vecPhase_->add(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - s_.vecBegin_)
+                              .count());
     }
     VecScope(const VecScope&) = delete;
     VecScope& operator=(const VecScope&) = delete;
@@ -290,8 +299,9 @@ class FieldSpace {
   // steady state. Mutable + unsynchronized: reductions are coordinator-only.
   mutable sim::PerRank<Real> rankPart_;
   mutable std::vector<Real> partials_;
-  mutable Timer* vecTimer_ = nullptr;
-  mutable int timerDepth_ = 0;
+  mutable obs::Phase* vecPhase_ = nullptr;
+  mutable int vecDepth_ = 0;
+  mutable std::chrono::steady_clock::time_point vecBegin_{};
 };
 
 /// Linear operator and preconditioner signature: y = A(x).

@@ -1,0 +1,148 @@
+// Metrics registry: named counters, gauges, and histograms (DESIGN.md §12).
+//
+// This absorbs the counters that used to live as ad-hoc members scattered
+// across ChnsSolver (noopRemeshes, meshRebuilds, cacheInvalidations) and
+// the per-solve iteration counts the benches used to scrape out of
+// last-result structs, behind one API that every layer shares.
+//
+// Thread-safety: metric *creation* (Registry::counter/gauge/histogram)
+// takes the registry mutex and returns a reference that stays valid for the
+// registry's lifetime (node-based map). Metric *updates* are lock-free
+// atomics, so counters incremented from ThreadPool workers are exact
+// (asserted under 4 threads + tsan by tests/test_obs.cpp). Updates use
+// relaxed ordering: metrics are monotone accumulators read at quiescent
+// points (step reports), not synchronization edges.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pt::obs {
+
+/// Monotone (well, signed) event counter.
+class Counter {
+ public:
+  void inc(long long n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. current element count).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples: bucket k counts
+/// samples in [2^(k-1), 2^k) (bucket 0 counts [0, 1)). Fixed storage, all
+/// atomic — add() is safe from any thread. Tracks count/sum/max exactly;
+/// the buckets give the shape (e.g. of per-solve Krylov iteration counts).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  void add(double v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is C++20.
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    double prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  long long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const long long n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  long long bucket(int k) const {
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+
+  static int bucketOf(double v) {
+    if (!(v >= 1.0)) return 0;  // also catches NaN
+    int k = 1;
+    double hi = 2.0;
+    while (k < kBuckets - 1 && v >= hi) {
+      hi *= 2.0;
+      ++k;
+    }
+    return k;
+  }
+
+ private:
+  std::atomic<long long> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<long long> buckets_[kBuckets] = {};
+};
+
+/// Plain-value snapshots for reporting (no atomics, copyable).
+struct CounterStat {
+  long long value = 0;
+};
+struct GaugeStat {
+  double value = 0;
+};
+struct HistogramStat {
+  long long count = 0;
+  double sum = 0, mean = 0, max = 0;
+};
+
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return get(counters_, name); }
+  Gauge& gauge(const std::string& name) { return get(gauges_, name); }
+  Histogram& histogram(const std::string& name) {
+    return get(histograms_, name);
+  }
+
+  std::map<std::string, CounterStat> counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, CounterStat> out;
+    for (const auto& [k, v] : counters_) out[k] = {v.value()};
+    return out;
+  }
+  std::map<std::string, GaugeStat> gauges() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, GaugeStat> out;
+    for (const auto& [k, v] : gauges_) out[k] = {v.value()};
+    return out;
+  }
+  std::map<std::string, HistogramStat> histograms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, HistogramStat> out;
+    for (const auto& [k, v] : histograms_)
+      out[k] = {v.count(), v.sum(), v.mean(), v.max()};
+    return out;
+  }
+
+ private:
+  template <typename T>
+  T& get(std::map<std::string, T>& m, const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return m[name];  // std::map: no reference invalidation on insert
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace pt::obs

@@ -1,0 +1,127 @@
+// Per-simulated-rank phase attribution and load-imbalance summaries
+// (DESIGN.md §12).
+//
+// The paper's scaling diagnosis (Fig 4/5, Sec II-C) is built on per-rank,
+// per-phase time: which rank is slowest in ch-solve, how skewed remesh is,
+// what the imbalance ratio max/mean looks like as ranks grow. SimComm
+// already maintains a virtual clock per simulated rank (chargeWork /
+// collectives advance them); RankPhases snapshots those clocks around a
+// phase and accumulates the per-rank deltas under the phase name, then
+// summarizes min/max/mean/imbalance.
+//
+// Templated on the communicator type so obs does not depend on sim (pt_obs
+// sits next to pt_support in the layering; sim links obs, not vice versa).
+// The comm type needs size() and clockOf(rank). Accumulation is local
+// folding over clock snapshots — it performs NO collectives, so attaching
+// rank stats never perturbs CommStats.collectives counts or charged time.
+//
+// Coordinator-only by contract (same as FieldSpace): phases are entered and
+// exited on the coordinator thread between bulk-synchronous epochs.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pt::obs {
+
+/// Imbalance summary for one phase across simulated ranks.
+struct RankSummary {
+  double minSec = 0;
+  double maxSec = 0;
+  double meanSec = 0;
+  /// max/mean — 1.0 is perfectly balanced; the paper's diagnostic ratio.
+  double imbalance = 1.0;
+};
+
+template <typename Comm>
+class RankPhases {
+ public:
+  explicit RankPhases(const Comm* comm = nullptr) : comm_(comm) {}
+
+  void attach(const Comm* comm) { comm_ = comm; }
+  bool attached() const { return comm_ != nullptr; }
+
+  /// Runtime gate: when disabled (default), begin/end are a branch each.
+  void setEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_ && comm_ != nullptr; }
+
+  /// Snapshot all rank clocks at phase entry. Phases may not overlap for
+  /// the same RankPhases (coordinator-only, bulk-synchronous usage).
+  void begin() {
+    if (!enabled()) return;
+    snapshot(entry_);
+  }
+
+  /// Accumulates clockOf deltas since begin() under `name`.
+  void end(const std::string& name) {
+    if (!enabled()) return;
+    std::vector<double>& acc = acc_[name];
+    if (acc.size() < entry_.size()) acc.resize(entry_.size(), 0.0);
+    for (std::size_t r = 0; r < entry_.size(); ++r)
+      acc[r] += comm_->clockOf(static_cast<int>(r)) - entry_[r];
+  }
+
+  /// RAII wrapper over begin()/end().
+  class Scope {
+   public:
+    Scope(RankPhases& rp, std::string name) : rp_(rp), name_(std::move(name)) {
+      rp_.begin();
+    }
+    ~Scope() { rp_.end(name_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    RankPhases& rp_;
+    std::string name_;
+  };
+
+  /// Per-rank accumulated seconds for one phase (empty if never recorded).
+  std::vector<double> perRank(const std::string& name) const {
+    auto it = acc_.find(name);
+    return it == acc_.end() ? std::vector<double>{} : it->second;
+  }
+
+  /// min/max/mean/imbalance across ranks for one phase.
+  RankSummary summary(const std::string& name) const {
+    auto it = acc_.find(name);
+    if (it == acc_.end() || it->second.empty()) return {};
+    return summarize(it->second);
+  }
+
+  std::map<std::string, RankSummary> all() const {
+    std::map<std::string, RankSummary> out;
+    for (const auto& [k, v] : acc_)
+      if (!v.empty()) out[k] = summarize(v);
+    return out;
+  }
+
+  void reset() { acc_.clear(); }
+
+  static RankSummary summarize(const std::vector<double>& v) {
+    RankSummary s;
+    s.minSec = *std::min_element(v.begin(), v.end());
+    s.maxSec = *std::max_element(v.begin(), v.end());
+    double sum = 0;
+    for (double x : v) sum += x;
+    s.meanSec = sum / static_cast<double>(v.size());
+    s.imbalance = s.meanSec > 0 ? s.maxSec / s.meanSec : 1.0;
+    return s;
+  }
+
+ private:
+  void snapshot(std::vector<double>& dst) {
+    const int n = comm_->size();
+    dst.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) dst[static_cast<std::size_t>(r)] = comm_->clockOf(r);
+  }
+
+  const Comm* comm_;
+  bool enabled_ = false;
+  std::vector<double> entry_;
+  std::map<std::string, std::vector<double>> acc_;
+};
+
+}  // namespace pt::obs

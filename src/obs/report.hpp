@@ -1,0 +1,309 @@
+// Machine-readable telemetry output (DESIGN.md §12):
+//
+//  * StepReporter — per-step structured JSONL ("pt-step-v1"): one JSON
+//    object per line per step with per-step phase deltas (their sum over a
+//    run equals the cumulative PhaseSet totals exactly), cumulative
+//    counters, per-rank imbalance summaries, and caller-supplied scalars.
+//    This is what examples emit and what tools/trace_summary.py validates.
+//
+//  * BenchReport — the unified BENCH_*.json schema ("pt-bench-v1") shared
+//    by all bench/fig* binaries, replacing three hand-rolled emitters.
+//    tools/bench_compare.py diffs two of these and flags regressions.
+//
+// Writers are coordinator-only (single-threaded), like all reporting.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/rankstats.hpp"
+#include "obs/trace.hpp"
+
+namespace pt::obs {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+inline std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+/// Formats a finite double as JSON (no NaN/Inf in JSON — mapped to 0).
+inline std::string jsonNum(double v) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+namespace reportdetail {
+
+/// Comma-managed appender for building one-line JSON objects/arrays.
+struct Sink {
+  std::string s;
+  bool needComma = false;
+  void raw(const std::string& t) { s += t; }
+  void item(const std::string& t) {
+    if (needComma) s += ", ";
+    s += t;
+    needComma = true;
+  }
+  void key(const std::string& k) {
+    if (needComma) s += ", ";
+    s += '"';
+    s += jsonEscape(k);
+    s += "\": ";
+    needComma = false;
+  }
+  void open(char c) {
+    s += c;
+    needComma = false;
+  }
+  void close(char c) {
+    s += c;
+    needComma = true;
+  }
+};
+
+}  // namespace reportdetail
+
+/// JSONL step reports, schema "pt-step-v1". One writeStep() per simulation
+/// step; the reporter snapshots cumulative phase/counter state and emits
+/// per-step deltas, so summing a column across lines reproduces the final
+/// cumulative totals bit-for-bit (doubles summed in step order).
+class StepReporter {
+ public:
+  StepReporter() = default;
+  explicit StepReporter(const std::string& path) { open(path); }
+  ~StepReporter() { close(); }
+  StepReporter(const StepReporter&) = delete;
+  StepReporter& operator=(const StepReporter&) = delete;
+
+  bool open(const std::string& path) {
+    close();
+    f_ = std::fopen(path.c_str(), "w");
+    return f_ != nullptr;
+  }
+  bool ok() const { return f_ != nullptr; }
+  void close() {
+    if (f_) std::fclose(f_);
+    f_ = nullptr;
+  }
+
+  /// Opens the path named by env var `var` (e.g. PT_STEP_REPORT) if set;
+  /// otherwise the reporter stays inert and writeStep() is a no-op.
+  bool openFromEnv(const char* var = "PT_STEP_REPORT") {
+    if (const char* p = std::getenv(var))
+      if (p[0] != '\0') return open(p);
+    return false;
+  }
+
+  /// Emits one line. `ranks` may be empty (serial / rank stats disabled);
+  /// `extra` carries caller scalars (dt, residuals, element counts, ...).
+  void writeStep(long step, const PhaseSet& phases, const Registry& metrics,
+                 const std::map<std::string, RankSummary>& ranks = {},
+                 const std::map<std::string, double>& extra = {}) {
+    if (!f_) return;
+    const std::map<std::string, PhaseStat> cur = phases.all();
+    const std::map<std::string, CounterStat> counters = metrics.counters();
+    const std::map<std::string, GaugeStat> gauges = metrics.gauges();
+
+    reportdetail::Sink js;
+    js.open('{');
+    js.key("schema");
+    js.item("\"pt-step-v1\"");
+    js.key("step");
+    js.item(std::to_string(step));
+
+    js.key("phases");
+    js.open('{');
+    for (const auto& [name, stat] : cur) {
+      const PhaseStat prev = prevPhases_.count(name) ? prevPhases_[name]
+                                                     : PhaseStat{};
+      js.key(name);
+      js.open('{');
+      js.key("sec");
+      js.item(jsonNum(stat.seconds() - prev.seconds()));
+      js.key("calls");
+      js.item(std::to_string(stat.calls() - prev.calls()));
+      js.close('}');
+    }
+    js.close('}');
+
+    js.key("counters");
+    js.open('{');
+    for (const auto& [name, c] : counters) {
+      js.key(name);
+      js.item(std::to_string(c.value));
+    }
+    js.close('}');
+
+    if (!gauges.empty()) {
+      js.key("gauges");
+      js.open('{');
+      for (const auto& [name, g] : gauges) {
+        js.key(name);
+        js.item(jsonNum(g.value));
+      }
+      js.close('}');
+    }
+
+    if (!ranks.empty()) {
+      js.key("ranks");
+      js.open('{');
+      for (const auto& [name, s] : ranks) {
+        js.key(name);
+        js.open('{');
+        js.key("min");
+        js.item(jsonNum(s.minSec));
+        js.key("max");
+        js.item(jsonNum(s.maxSec));
+        js.key("mean");
+        js.item(jsonNum(s.meanSec));
+        js.key("imbalance");
+        js.item(jsonNum(s.imbalance));
+        js.close('}');
+      }
+      js.close('}');
+    }
+
+    for (const auto& [name, v] : extra) {
+      js.key(name);
+      js.item(jsonNum(v));
+    }
+    js.close('}');
+
+    std::fprintf(f_, "%s\n", js.s.c_str());
+    std::fflush(f_);
+    prevPhases_ = cur;
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::map<std::string, PhaseStat> prevPhases_;
+};
+
+/// One measured configuration inside a bench report.
+struct BenchConfig {
+  std::string name;
+  std::map<std::string, double> metrics;           ///< scalar results
+  std::map<std::string, PhaseStat> phases;         ///< cumulative timers
+  std::map<std::string, long long> counters;       ///< cumulative counts
+  std::map<std::string, std::vector<double>> series;  ///< per-step arrays
+};
+
+/// Unified bench JSON, schema "pt-bench-v1". Usage:
+///   BenchReport r("fig5_solver_breakdown");
+///   r.info["workload"] = "...";
+///   r.configs.push_back(...);
+///   r.derived["speedup_2t"] = ...;
+///   r.write("BENCH_solver.json");
+struct BenchReport {
+  explicit BenchReport(std::string benchName) : bench(std::move(benchName)) {}
+
+  std::string bench;
+  std::map<std::string, std::string> info;   ///< build/workload description
+  std::vector<BenchConfig> configs;
+  std::map<std::string, double> derived;     ///< cross-config figures
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n  \"schema\": \"pt-bench-v1\",\n  \"bench\": \"%s\"",
+                 jsonEscape(bench).c_str());
+    std::fprintf(f, ",\n  \"info\": {");
+    bool first = true;
+    for (const auto& [k, v] : info) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", first ? "" : ",",
+                   jsonEscape(k).c_str(), jsonEscape(v).c_str());
+      first = false;
+    }
+    std::fprintf(f, "%s},\n  \"configs\": [", first ? "" : "\n  ");
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const BenchConfig& c = configs[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i ? "," : "",
+                   jsonEscape(c.name).c_str());
+      writeMap(f, "metrics", c.metrics);
+      if (!c.phases.empty()) {
+        std::fprintf(f, ",\n     \"phases\": {");
+        bool pf = true;
+        for (const auto& [k, v] : c.phases) {
+          std::fprintf(f, "%s\"%s\": {\"sec\": %s, \"calls\": %ld}",
+                       pf ? "" : ", ", jsonEscape(k).c_str(),
+                       jsonNum(v.seconds()).c_str(), v.calls());
+          pf = false;
+        }
+        std::fprintf(f, "}");
+      }
+      if (!c.counters.empty()) {
+        std::fprintf(f, ",\n     \"counters\": {");
+        bool cf = true;
+        for (const auto& [k, v] : c.counters) {
+          std::fprintf(f, "%s\"%s\": %lld", cf ? "" : ", ",
+                       jsonEscape(k).c_str(), v);
+          cf = false;
+        }
+        std::fprintf(f, "}");
+      }
+      if (!c.series.empty()) {
+        std::fprintf(f, ",\n     \"series\": {");
+        bool sf = true;
+        for (const auto& [k, v] : c.series) {
+          std::fprintf(f, "%s\"%s\": [", sf ? "" : ", ",
+                       jsonEscape(k).c_str());
+          for (std::size_t j = 0; j < v.size(); ++j)
+            std::fprintf(f, "%s%s", j ? ", " : "", jsonNum(v[j]).c_str());
+          std::fprintf(f, "]");
+          sf = false;
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]");
+    if (!derived.empty()) {
+      std::fprintf(f, ",\n  \"derived\": {");
+      bool df = true;
+      for (const auto& [k, v] : derived) {
+        std::fprintf(f, "%s\n    \"%s\": %s", df ? "" : ",",
+                     jsonEscape(k).c_str(), jsonNum(v).c_str());
+        df = false;
+      }
+      std::fprintf(f, "\n  }");
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static void writeMap(std::FILE* f, const char* key,
+                       const std::map<std::string, double>& m) {
+    std::fprintf(f, ",\n     \"%s\": {", key);
+    bool first = true;
+    for (const auto& [k, v] : m) {
+      std::fprintf(f, "%s\"%s\": %s", first ? "" : ", ",
+                   jsonEscape(k).c_str(), jsonNum(v).c_str());
+      first = false;
+    }
+    std::fprintf(f, "}");
+  }
+};
+
+}  // namespace pt::obs

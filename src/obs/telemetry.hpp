@@ -1,0 +1,33 @@
+// One-stop telemetry bundle (DESIGN.md §12): phase accumulators, metrics
+// registry, and per-simulated-rank stats, plus the env hookups (PT_TRACE).
+// ChnsSolver owns one of these; examples and benches read from it and feed
+// StepReporter / BenchReport (obs/report.hpp).
+#pragma once
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/rankstats.hpp"
+#include "obs/trace.hpp"
+
+namespace pt::obs {
+
+template <typename Comm>
+struct Telemetry {
+  Telemetry() {
+#ifdef PT_OBS
+    Tracer::initFromEnv();
+    // PT_RANK_STATS=1 turns on per-rank phase attribution (off by default:
+    // it snapshots size() clocks per instrumented phase).
+    if (const char* p = std::getenv("PT_RANK_STATS"))
+      if (p[0] == '1') ranks.setEnabled(true);
+#endif
+  }
+
+  PhaseSet phases;
+  Registry metrics;
+  RankPhases<Comm> ranks;
+};
+
+}  // namespace pt::obs

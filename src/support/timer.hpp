@@ -1,15 +1,22 @@
-// Accumulating wall-clock timers for instrumenting solver phases.
+// Accumulating wall-clock timers for calibration-style measurements.
+//
+// NOTE: the old named-timer registry (TimerSet) that used to live here was
+// removed: Timer keeps in-flight start/stop state inside the shared object,
+// which races when two threads time the same named phase (DESIGN.md §12
+// documents the hazard). Per-phase instrumentation now goes through
+// pt::obs::PhaseSet (src/obs/phase.hpp), whose accumulators are atomic and
+// whose in-flight state lives on the measuring scope's stack. Timer itself
+// remains for strictly single-threaded measurements.
 #pragma once
 
 #include <chrono>
-#include <map>
-#include <string>
 
 namespace pt {
 
 /// Accumulates wall-clock time across repeated start/stop pairs.
 /// Used both for real measurements (calibration of the simulated machine
-/// model) and for per-phase reporting in examples.
+/// model) and for single-threaded micro-measurements. NOT thread-safe:
+/// shared, concurrently-timed phases belong in pt::obs::PhaseSet.
 class Timer {
  public:
   void start() { begin_ = Clock::now(); running_ = true; }
@@ -32,16 +39,6 @@ class Timer {
   double total_ = 0;
   long count_ = 0;
   bool running_ = false;
-};
-
-/// Named registry of timers, e.g. one per solver phase ("ch-solve", ...).
-class TimerSet {
- public:
-  Timer& operator[](const std::string& name) { return timers_[name]; }
-  const std::map<std::string, Timer>& all() const { return timers_; }
-
- private:
-  std::map<std::string, Timer> timers_;
 };
 
 /// RAII scope guard around Timer::start/stop.

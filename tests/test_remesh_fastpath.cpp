@@ -327,7 +327,7 @@ TEST(RemeshTimersTest, PhasesRecordOneCallEach) {
     for (std::size_t e = 0; e < leaves.size(); ++e)
       want[r][e] = static_cast<Level>(leaves[e].level + (e % 7 == 0 ? 1 : 0));
   }
-  TimerSet ts;
+  obs::PhaseSet ts;
   RemeshTimers rt{&ts["refine"], &ts["coarsen"], &ts["balance"],
                   &ts["repartition"]};
   auto out = remesh(tree, want, rt);

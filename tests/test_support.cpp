@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/phase.hpp"
 #include "support/check.hpp"
 #include "support/csv.hpp"
 #include "support/rng.hpp"
@@ -63,12 +64,14 @@ TEST(Timer, StopWithoutStartIsNoop) {
   EXPECT_EQ(t.calls(), 0);
 }
 
-TEST(TimerSet, NamedAccess) {
-  TimerSet ts;
-  ts["ch-solve"].start();
-  ts["ch-solve"].stop();
-  EXPECT_EQ(ts.all().size(), 1u);
-  EXPECT_EQ(ts["ch-solve"].calls(), 1);
+TEST(PhaseSet, NamedAccess) {
+  obs::PhaseSet ps;
+  { obs::ScopedPhase sp(ps["ch-solve"]); }
+  EXPECT_EQ(ps.all().size(), 1u);
+  EXPECT_EQ(ps["ch-solve"].calls(), 1);
+  EXPECT_GE(ps.all()["ch-solve"].seconds(), 0.0);
+  ps.reset();
+  EXPECT_EQ(ps["ch-solve"].calls(), 0);
 }
 
 TEST(Rng, Deterministic) {

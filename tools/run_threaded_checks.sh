@@ -17,6 +17,12 @@
 # 4. The remesh fast-path suite once more under tsan with PT_VALIDATE=1,
 #    so the no-op early exits and incremental rebuilds are invariant-checked
 #    while racing the pool.
+# 5. The obs stage (DESIGN.md §12): the telemetry suite serial, with the
+#    pool at 4 threads, under tsan at 4 threads (span recording, counter
+#    atomicity, and per-thread ring merges race the pool there), and once
+#    more with the tracer live (PT_TRACE) while the full release-threads
+#    environment is active, with the emitted trace schema-checked by
+#    tools/trace_summary.py.
 #
 # Usage: ./tools/run_threaded_checks.sh [extra ctest args]
 set -euo pipefail
@@ -41,5 +47,19 @@ ctest --preset tsan \
 
 echo "== tsan + PT_VALIDATE=1 remesh fast-path suite =="
 PT_VALIDATE=1 ctest --preset tsan -R 'test_remesh_fastpath$' "$@"
+
+echo "== obs: telemetry suite (serial, threads=4, tsan) =="
+ctest --preset release -R 'test_obs$' "$@"
+ctest --preset release-threads -R 'test_obs$' "$@"
+cmake --build --preset tsan --target test_obs -- -j"$(nproc)"
+ctest --preset tsan -R 'test_obs$' "$@"
+
+echo "== obs: live tracer over the threaded CHNS suite (release-trace preset) =="
+# test_chns (not test_obs, which drains the tracer as part of its own
+# assertions) so the atexit trace written under PT_TRACE carries the real
+# solver/remesh/matvec span timeline; then schema-check it.
+rm -f build/tests/ctest_trace.json
+ctest --preset release-trace -R 'test_chns$' "$@"
+python3 tools/trace_summary.py build/tests/ctest_trace.json
 
 echo "threaded checks passed"
