@@ -22,5 +22,13 @@ fi
 "$BIN" "$@"
 
 # Schema gate: a malformed BENCH_solver.json fails the run (pt-bench-v1,
-# tools/trace_summary.py). Compare runs with tools/bench_compare.py.
+# tools/trace_summary.py).
 python3 tools/trace_summary.py BENCH_solver.json
+
+# Regression gate: when a baseline report is supplied (PT_BENCH_BASELINE=
+# path/to/BENCH_solver.json from a trusted earlier run), any pooled/gmg
+# config whose timing metric or derived speedup moved >10% in the bad
+# direction fails the run (tools/bench_compare.py exits nonzero).
+if [[ -n "${PT_BENCH_BASELINE:-}" ]]; then
+  python3 tools/bench_compare.py "$PT_BENCH_BASELINE" BENCH_solver.json
+fi

@@ -24,6 +24,7 @@
 #include "fem/bc.hpp"
 #include "fem/matvec.hpp"
 #include "intergrid/transfer.hpp"
+#include "la/gmg.hpp"
 #include "la/ksp.hpp"
 #include "la/newton.hpp"
 #include "la/pc.hpp"
@@ -80,6 +81,41 @@ struct ChnsOptions {
   /// and per-phase remesh timers/charges. Results are bitwise identical to
   /// the historical path; off = the measured fig8 bench baseline.
   bool remeshFastPath = true;
+
+  /// GMG-preconditioned CH/NS/PP solves: matrix-free V-cycles whose level
+  /// operators are frozen-coefficient mass/stiffness blocks routed through
+  /// the batched panel-GEMM engine. The coarsened-tree hierarchy is a pure
+  /// function of the current tree, built once per (mesh) and cached across
+  /// solves and no-op remeshes (dropped by invalidateSolverCaches on real
+  /// remeshes). Per-level variable coefficients (mobility, psi'' tables,
+  /// 1/rho(phi), local Cn) are volume-restricted down the tree chain, so
+  /// Newton's lagged-Jacobian reuse re-discretizes every level from the
+  /// current iterate. The whole path is bitwise identical for any thread
+  /// count. Off = the historical (block-)Jacobi preconditioners, bitwise
+  /// identical to the pooled PR-3 path.
+  ///
+  /// Degradation is graceful, never fatal: a V-cycle apply that fails its
+  /// coarse solve (typed GmgCoarseSolveError) or returns non-finite values
+  /// falls back to the pooled block-Jacobi apply for that request, and a
+  /// solve family whose outer Krylov loop still caps out retires its GMG
+  /// until the next real remesh (counters gmgPcFallbacks /
+  /// gmgRetirements). Sharp-interface spinodal states — e.g. the fig8 jet,
+  /// where even the historical preconditioner saturates every cap — thus
+  /// run no worse than the historical path instead of failing the step.
+  bool gmgPrecond = true;
+  /// Per-solve GMG tuning. CH is a nonsymmetric 2x2 block system carrying
+  /// the frozen advection coupling on per-element convection blocks:
+  /// damped block-Jacobi smoothing (no eigenvalue estimation per Newton
+  /// iteration) and a BiCGStab coarse solve. NS level operators drop
+  /// convection and are SPD per component. PP is the variable-density
+  /// Poisson operator the paper names as the GMG target; Chebyshev
+  /// smoothing and a nodal-mean-deflated coarse CG.
+  la::GmgOptions gmgCh{.smoother = la::GmgSmoother::kBlockJacobi,
+                       .coarseSolve = {.rtol = 1e-2, .maxIterations = 200},
+                       .coarseBicgstab = true};
+  la::GmgOptions gmgNs{.smoother = la::GmgSmoother::kBlockJacobi,
+                       .coarseSolve = {.rtol = 1e-2, .maxIterations = 200}};
+  la::GmgOptions gmgPp{.coarseSolve = {.rtol = 1e-3, .maxIterations = 200}};
 
   /// Velocity Dirichlet data on the domain boundary (default: no-slip).
   std::function<void(const VecN<DIM>&, Real*)> velocityBc;
@@ -428,6 +464,281 @@ class ChnsSolver {
     ppPc0_ = nullptr;
     vuPc_ = nullptr;
     chPcDt_ = nsPcDt_ = ppPcDt_ = -1;
+    // The Gmg objects hold level operators bound to the old meshes; the
+    // hierarchy is geometry of the old tree. Both die with it. (No-op
+    // remeshes return before reaching here, so the hierarchy survives them.)
+    chGmg_.reset();
+    nsGmg_.reset();
+    ppGmg_.reset();
+    gmgHier_.reset();
+    // A fresh mesh is a fresh chance: retired GMG families get retried.
+    chGmgRetired_ = nsGmgRetired_ = ppGmgRetired_ = false;
+  }
+
+  // ---- GMG preconditioning (gmgPrecond) ------------------------------------
+
+  /// The coarsened-tree hierarchy, built lazily once per mesh and shared by
+  /// the CH/NS/PP preconditioners. Depth covers the deepest per-solve
+  /// request; each Gmg clamps to its own level count.
+  const std::shared_ptr<const la::GmgHierarchy<DIM>>& ensureGmgHierarchy() {
+    if (!gmgHier_) {
+      const int levels =
+          std::max(opt_.gmgCh.levels,
+                   std::max(opt_.gmgNs.levels, opt_.gmgPp.levels));
+      const Level minLevel =
+          std::min(opt_.gmgCh.minLevel,
+                   std::min(opt_.gmgNs.minLevel, opt_.gmgPp.minLevel));
+      gmgHier_ = la::GmgHierarchy<DIM>::build(*comm_, tree_, mesh_.get(),
+                                              levels, minLevel);
+      gmgHierBuilds_->inc();
+    }
+    return gmgHier_;
+  }
+
+  const DistTree<DIM>& gmgTreeAt(const la::GmgHierarchy<DIM>& hier,
+                                 int l) const {
+    return l == 0 ? tree_ : hier.coarseTrees[l - 1];
+  }
+
+  /// Restricts a per-element coefficient down the hierarchy's tree chain
+  /// (volume-weighted cell averaging per hop). Level 0 is moved in as-is.
+  std::vector<sim::PerRank<std::vector<Real>>> gmgRestrictCell(
+      const la::GmgHierarchy<DIM>& hier, int numLevels,
+      sim::PerRank<std::vector<Real>> fine0) const {
+    std::vector<sim::PerRank<std::vector<Real>>> out;
+    out.reserve(numLevels);
+    out.push_back(std::move(fine0));
+    for (int l = 1; l < numLevels; ++l)
+      out.push_back(intergrid::transferCell(gmgTreeAt(hier, l - 1),
+                                            out.back(),
+                                            hier.coarseTrees[l - 1]));
+    return out;
+  }
+
+  /// Element means of one component of a nodal field (hanging-consistent
+  /// gather) — the cell seed the coefficient restriction starts from.
+  sim::PerRank<std::vector<Real>> elemMeanOf(const Field& f, int ndof,
+                                             int comp) const {
+    sim::PerRank<std::vector<Real>> out(mesh_->nRanks());
+    std::vector<Real> g(std::size_t(kC) * ndof);
+    for (int r = 0; r < mesh_->nRanks(); ++r) {
+      const RankMesh<DIM>& rm = mesh_->rank(r);
+      out[r].resize(rm.nElems());
+      for (std::size_t e = 0; e < rm.nElems(); ++e) {
+        fem::gatherElem(rm, e, f[r], ndof, g.data());
+        Real s = 0;
+        for (int i = 0; i < kC; ++i) s += g[i * ndof + comp];
+        out[r][e] = s / kC;
+      }
+      mesh_->comm().chargeWork(r, 2.0 * kC * rm.nElems());
+    }
+    return out;
+  }
+
+  sim::PerRank<std::vector<Real>> elemCnCells() const {
+    sim::PerRank<std::vector<Real>> out(mesh_->nRanks());
+    for (int r = 0; r < mesh_->nRanks(); ++r) {
+      const std::size_t ne = mesh_->rank(r).nElems();
+      out[r].resize(ne);
+      for (std::size_t e = 0; e < ne; ++e) out[r][e] = cnOf(r, e);
+    }
+    return out;
+  }
+
+  /// CH V-cycle: frozen 2x2 CH-Jacobian blocks per element, re-discretized
+  /// per level from the restricted Newton iterate (phibar), local Cn, and
+  /// the element-mean velocity. Advection rides on the convection-block
+  /// family — without it the V-cycle preconditions the wrong operator once
+  /// transport dominates (jet inflow at v ~ 1) and the CH GMRES stalls at
+  /// its cap. The mprime·grad(mu) coupling is deliberately NOT frozen in:
+  /// its 1/sqrt(1-phi^2) blowup next to saturated cells makes the coarse
+  /// BiCGStab diverge, costing more than the term buys. Rebuilt every
+  /// makePc call — the Gmg is a pure function of (mesh, iterate, velocity,
+  /// dt), so histories are independent of caching.
+  void buildChGmg(Real dt, const Field& u) {
+    obs::TimedSpan at(timers_, "ch-assemble");
+    const auto& hier = ensureGmgHierarchy();
+    const int L = std::min(hier->numLevels(), std::max(1, opt_.gmgCh.levels));
+    auto phibar = gmgRestrictCell(*hier, L, elemMeanOf(u, 2, 0));
+    auto cnL = gmgRestrictCell(*hier, L, elemCnCells());
+    std::array<std::vector<sim::PerRank<std::vector<Real>>>, DIM> vbar;
+    for (int d = 0; d < DIM; ++d)
+      vbar[d] = gmgRestrictCell(*hier, L, elemMeanOf(vel_, DIM, d));
+    const Params& P = opt_.params;
+    la::GmgOpFactory<DIM> factory =
+        [&](const Mesh<DIM>& m, int l) -> la::GmgLevelOps<DIM> {
+      auto cM = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      auto cK = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      auto cT = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      for (int r = 0; r < m.nRanks(); ++r) {
+        const std::size_t ne = m.rank(r).nElems();
+        (*cM)[r].resize(ne * 4);
+        (*cK)[r].resize(ne * 4);
+        (*cT)[r].assign(ne * std::size_t(DIM) * 4, 0.0);
+        for (std::size_t e = 0; e < ne; ++e) {
+          const Real phi = phibar[l][r][e];
+          const Real cn = cnL[l][r][e];
+          Real* bM = (*cM)[r].data() + e * 4;
+          Real* bK = (*cK)[r].data() + e * 4;
+          Real* bT = (*cT)[r].data() + e * std::size_t(DIM) * 4;
+          // Rows: (phi-residual, mu-residual) with mobility, psi'', the
+          // local Cn, velocity and grad(mu) all frozen per element.
+          bM[0] = 1.0 / dt;
+          bM[1] = 0.0;
+          bM[2] = -Params::d2psi(phi);
+          bM[3] = 1.0;
+          bK[0] = 0.0;
+          bK[1] = P.mobility(phi) / (P.Pe * cn);
+          bK[2] = -cn * cn;
+          bK[3] = 0.0;
+          // (phi row, phi col) convection blocks: advection integrated by
+          // parts (−v̄).
+          for (int d = 0; d < DIM; ++d) bT[d * 4] = -vbar[d][l][r][e];
+        }
+      }
+      return la::makeCoefBlockLevelOps<DIM>(m, 2, std::move(cM),
+                                            std::move(cK), std::move(cT));
+    };
+    chGmg_ = std::make_unique<la::Gmg<DIM>>(*comm_, hier, factory,
+                                            opt_.gmgCh, &tel_->metrics);
+  }
+
+  /// NS V-cycle: rho(phi)/dt mass + 0.5 eta(phi)/Re stiffness per velocity
+  /// component, Dirichlet-wrapped with each level's own boundary mask.
+  void buildNsGmg(Real dt) {
+    obs::TimedSpan at(timers_, "ns-assemble");
+    const auto& hier = ensureGmgHierarchy();
+    const int L = std::min(hier->numLevels(), std::max(1, opt_.gmgNs.levels));
+    auto phibar = gmgRestrictCell(*hier, L, elemMeanOf(phi_, 1, 0));
+    const Params& P = opt_.params;
+    la::GmgOpFactory<DIM> factory =
+        [&](const Mesh<DIM>& m, int l) -> la::GmgLevelOps<DIM> {
+      auto cM = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      auto cK = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      constexpr int nd2 = DIM * DIM;
+      for (int r = 0; r < m.nRanks(); ++r) {
+        const std::size_t ne = m.rank(r).nElems();
+        (*cM)[r].assign(ne * nd2, 0.0);
+        (*cK)[r].assign(ne * nd2, 0.0);
+        for (std::size_t e = 0; e < ne; ++e) {
+          const Real phi = phibar[l][r][e];
+          const Real rho = P.rho(phi), eta = P.eta(phi);
+          for (int a = 0; a < DIM; ++a) {
+            (*cM)[r][e * nd2 + a * DIM + a] = rho / dt;
+            (*cK)[r][e * nd2 + a * DIM + a] = 0.5 * eta / P.Re;
+          }
+        }
+      }
+      la::GmgLevelOps<DIM> ops =
+          la::makeCoefBlockLevelOps<DIM>(m, DIM, std::move(cM),
+                                         std::move(cK));
+      // Per-level Dirichlet rows: the mask is owned by a shared_ptr kept
+      // alive inside the op closure (dirichletOp captures it by reference),
+      // and mirrored into ops.mask for the smoother-diagonal treatment.
+      auto mask = std::make_shared<Field>(fem::boundaryMask(m));
+      ops.op = [mask, inner = fem::dirichletOp(m, *mask,
+                                               std::move(ops.op), DIM)](
+                   const Field& x, Field& y) { inner(x, y); };
+      // ndof-wide mask (boundaryMask is one value per node).
+      Field wide = m.makeField(DIM);
+      for (int r = 0; r < m.nRanks(); ++r)
+        for (std::size_t i = 0; i < m.rank(r).nNodes(); ++i)
+          for (int a = 0; a < DIM; ++a)
+            wide[r][i * DIM + a] = (*mask)[r][i];
+      ops.mask = std::move(wide);
+      return ops;
+    };
+    nsGmg_ = std::make_unique<la::Gmg<DIM>>(*comm_, hier, factory,
+                                            opt_.gmgNs, &tel_->metrics);
+  }
+
+  /// PP V-cycle: the paper's variable-density Poisson target. Level
+  /// operators are dt/(We rho(phi)) stiffness with the restricted phi;
+  /// every level carries the Euclidean nodal-mean deflation of its own
+  /// node set (the operator is singular Neumann on every level).
+  void buildPpGmg(Real dt) {
+    obs::TimedSpan at(timers_, "pp-assemble");
+    const auto& hier = ensureGmgHierarchy();
+    const int L = std::min(hier->numLevels(), std::max(1, opt_.gmgPp.levels));
+    auto phibar = gmgRestrictCell(*hier, L, elemMeanOf(phi_, 1, 0));
+    const Params& P = opt_.params;
+    la::GmgOpFactory<DIM> factory =
+        [&](const Mesh<DIM>& m, int l) -> la::GmgLevelOps<DIM> {
+      auto cM = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      auto cK = std::make_shared<sim::PerRank<std::vector<Real>>>(m.nRanks());
+      for (int r = 0; r < m.nRanks(); ++r) {
+        const std::size_t ne = m.rank(r).nElems();
+        (*cM)[r].assign(ne, 0.0);
+        (*cK)[r].resize(ne);
+        for (std::size_t e = 0; e < ne; ++e)
+          (*cK)[r][e] = dt / (P.We * P.rho(phibar[l][r][e]));
+      }
+      la::GmgLevelOps<DIM> ops =
+          la::makeCoefBlockLevelOps<DIM>(m, 1, std::move(cM), std::move(cK));
+      // Euclidean nodal-mean deflation on this level's own node set; the
+      // level operator is also projection-wrapped so the coarse Krylov
+      // solve stays on the deflated subspace.
+      auto ones = std::make_shared<Field>(m.makeField(1));
+      for (int r = 0; r < m.nRanks(); ++r)
+        std::fill((*ones)[r].begin(), (*ones)[r].end(), 1.0);
+      const Real nNodes = static_cast<Real>(m.globalNodeCount());
+      auto project = [&m, ones, nNodes](Field& f) {
+        const Real mean = m.dot(*ones, f, 1) / nNodes;
+        for (std::size_t r = 0; r < f.size(); ++r)
+          for (Real& v : f[r]) v -= mean;
+      };
+      ops.project = project;
+      ops.op = [inner = std::move(ops.op), project](const Field& x,
+                                                    Field& y) {
+        inner(x, y);
+        project(y);
+      };
+      return ops;
+    };
+    ppGmg_ = std::make_unique<la::Gmg<DIM>>(*comm_, hier, factory,
+                                            opt_.gmgPp, &tel_->metrics);
+  }
+
+  /// One guarded V-cycle apply. Returns false — leaving z unusable — when
+  /// the coarse solve raises its typed error or the cycle emits non-finite
+  /// values (e.g. a BiCGStab breakdown on a degenerate Newton state); the
+  /// caller then substitutes its pooled block-Jacobi apply. Swapping the
+  /// preconditioner mid-Krylov weakens the subspace identities the methods
+  /// assume, but the swap only ever fires in regimes where the cycle is
+  /// returning garbage — any finite SPD-ish apply beats NaNs or a thrown
+  /// step.
+  bool gmgApplyGuarded(la::Gmg<DIM>& g, const Field& r, Field& z) {
+    try {
+      g.apply(r, z);
+    } catch (const CheckError&) {
+      // GmgCoarseSolveError, or the coarse Krylov's own invariant checks
+      // tripping on a degenerate input (e.g. "not positive definite" from a
+      // NaN inner product).
+      return false;
+    }
+    return fieldFinite(z);
+  }
+
+  static bool fieldFinite(const Field& f) {
+    for (std::size_t r = 0; r < f.size(); ++r)
+      for (const Real v : f[r])
+        if (!std::isfinite(v)) return false;
+    return true;
+  }
+
+  /// Publish-time sanity bound for GMG-preconditioned solutions. A capped
+  /// Krylov loop behind a near-singular V-cycle can return astronomically
+  /// large (finite) iterates; squaring those in the next residual assembly
+  /// overflows to NaN. Physical fields in these nondimensional systems are
+  /// O(1e2) at worst, so anything beyond the cap means the solve diverged
+  /// and its result must not enter the state. The historical block-Jacobi
+  /// path never trips this (its capped solves stay bounded).
+  static constexpr Real kGmgSaneCap = 1e8;
+  static bool fieldSane(const Field& f) {
+    for (std::size_t r = 0; r < f.size(); ++r)
+      for (const Real v : f[r])
+        if (!(std::abs(v) <= kGmgSaneCap)) return false;  // catches NaN too
+    return true;
   }
 
   Real cnOf(int r, std::size_t e) const {
@@ -786,7 +1097,38 @@ class ChnsSolver {
           });
     };
 
-    auto makePc = [&, dt](const Field& /*state*/) -> la::LinOp<Field> {
+    auto makePc = [&, dt](const Field& state) -> la::LinOp<Field> {
+      if (opt_.gmgPrecond && !chGmgRetired_) {
+        // Matrix-free V-cycle on the frozen CH Jacobian, re-discretized per
+        // level from the current Newton iterate (lagged-Jacobian reuse:
+        // newton calls makePc once per outer iteration, matching makeJ).
+        // The pooled block-Jacobi below is kept warm as the graceful-
+        // degradation fallback; once an apply fails, the rest of this
+        // linear solve skips the V-cycle outright. Construction itself can
+        // fail too — a degenerate iterate can make a level's smoother
+        // blocks singular — and retires the family the same way.
+        try {
+          buildChGmg(dt, state);
+        } catch (const CheckError&) {
+          chGmgRetired_ = true;
+          gmgRetirements_->inc();
+          chGmg_.reset();
+        }
+      }
+      if (opt_.gmgPrecond && !chGmgRetired_) {
+        if (!chPc_ || chPcDt_ != dt) {
+          chPc_ = la::makeBlockJacobi(*mesh_, 2, assembleChDiag());
+          chPcDt_ = dt;
+        }
+        return [this, failed = std::make_shared<bool>(false)](const Field& r,
+                                                              Field& z) {
+          obs::TimedSpan pt(timers_, "ch-pc");
+          if (!*failed && gmgApplyGuarded(*chGmg_, r, z)) return;
+          if (!*failed) gmgPcFallbacks_->inc();
+          *failed = true;
+          chPc_(r, z);
+        };
+      }
       if (!opt_.reuseSolverResources) {
         // Historical path: re-assemble + re-eliminate every Newton
         // iteration (the bench baseline).
@@ -817,6 +1159,31 @@ class ChnsSolver {
         opt_.reuseSolverResources ? &chWs_ : nullptr);
     velOldRef_ = nullptr;
     lastChNewton_ = res;
+    if (opt_.gmgPrecond && !chGmgRetired_ && !res.converged &&
+        res.iterations > 0 &&
+        res.totalLinearIterations >=
+            res.iterations * opt_.chNewton.linear.maxIterations) {
+      // Every inner GMRES saturated its cap: the V-cycle is not
+      // preconditioning this regime (sharp-interface spinodal states defeat
+      // the frozen coarse coefficients). Retire it until the next real
+      // remesh instead of paying for ineffective cycles.
+      chGmgRetired_ = true;
+      gmgRetirements_->inc();
+      chGmg_.reset();
+    }
+    if (opt_.gmgPrecond && !fieldSane(U)) {
+      // A degenerate preconditioned solve overflowed the iterate. Keep the
+      // pre-solve phi/mu (the historical caps publish bounded garbage, never
+      // NaN — downstream solves must be able to rely on that) and retire
+      // the CH V-cycle for this mesh epoch.
+      gmgPcFallbacks_->inc();
+      if (!chGmgRetired_) {
+        chGmgRetired_ = true;
+        gmgRetirements_->inc();
+        chGmg_.reset();
+      }
+      return;
+    }
     // Unpack.
     for (int r = 0; r < mesh_->nRanks(); ++r)
       for (std::size_t i = 0; i < mesh_->rank(r).nNodes(); ++i) {
@@ -1082,7 +1449,34 @@ class ChnsSolver {
           });
     };
     la::LinOp<Field> M;
-    if (opt_.reuseSolverResources) {
+    if (opt_.gmgPrecond && !nsGmgRetired_) {
+      // V-cycle on the variable-coefficient time + viscous part (the
+      // block-Jacobi diagonal above ignores rho/eta; the GMG levels do
+      // not). Construction failures retire the family for this epoch.
+      try {
+        buildNsGmg(dt);
+      } catch (const CheckError&) {
+        nsGmgRetired_ = true;
+        gmgRetirements_->inc();
+        nsGmg_.reset();
+      }
+    }
+    const bool nsUseGmg = opt_.gmgPrecond && !nsGmgRetired_;
+    if (nsUseGmg) {
+      // The pooled diagonal doubles as the graceful-degradation fallback.
+      if (!nsPc_ || nsPcDt_ != dt) {
+        nsPc_ = la::makeBlockJacobi(*mesh_, DIM, assembleNsDiag());
+        nsPcDt_ = dt;
+      }
+      M = [this, failed = std::make_shared<bool>(false)](const Field& r,
+                                                         Field& z) {
+        obs::TimedSpan pt(timers_, "ns-pc");
+        if (!*failed && gmgApplyGuarded(*nsGmg_, r, z)) return;
+        if (!*failed) gmgPcFallbacks_->inc();
+        *failed = true;
+        nsPc_(r, z);
+      };
+    } else if (opt_.reuseSolverResources) {
       if (!nsPc_ || nsPcDt_ != dt) {
         nsPc_ = la::makeBlockJacobi(*mesh_, DIM, assembleNsDiag());
         nsPcDt_ = dt;
@@ -1104,6 +1498,17 @@ class ChnsSolver {
     fem::copyMasked(*mesh_, mask_, g, vstar, DIM);
     lastNs_ = la::gmres(S, A, rhsBc, vstar, opt_.nsKsp, &M,
                         opt_.reuseSolverResources ? &nsWs_ : nullptr);
+    if (nsUseGmg && !lastNs_.converged) {
+      nsGmgRetired_ = true;
+      gmgRetirements_->inc();
+      nsGmg_.reset();
+    }
+    if (opt_.gmgPrecond && !fieldSane(vstar)) {
+      // Same contract as the CH guard: never publish non-finite velocity.
+      gmgPcFallbacks_->inc();
+      vstar = vel_;
+      fem::copyMasked(*mesh_, mask_, g, vstar, DIM);
+    }
     velStar_ = std::move(vstar);
   }
 
@@ -1246,7 +1651,37 @@ class ChnsSolver {
           });
     };
     la::LinOp<Field> M;
-    if (opt_.reuseSolverResources) {
+    if (opt_.gmgPrecond && !ppGmgRetired_) {
+      // V-cycle on the variable-density Poisson operator, every level
+      // deflated against its own constant nullspace. Construction failures
+      // retire the family for this epoch.
+      try {
+        buildPpGmg(dt);
+      } catch (const CheckError&) {
+        ppGmgRetired_ = true;
+        gmgRetirements_->inc();
+        ppGmg_.reset();
+      }
+    }
+    const bool ppUseGmg = opt_.gmgPrecond && !ppGmgRetired_;
+    if (ppUseGmg) {
+      // The pooled stiffness-diagonal Jacobi doubles as the graceful-
+      // degradation fallback.
+      if (!ppPc0_ || ppPcDt_ != dt) {
+        ppPc0_ = la::makeJacobi(*mesh_, 1, assemblePpDiag());
+        ppPcDt_ = dt;
+      }
+      M = [this, failed = std::make_shared<bool>(false)](const Field& r,
+                                                         Field& z) {
+        obs::TimedSpan pt(timers_, "pp-pc");
+        if (*failed || !gmgApplyGuarded(*ppGmg_, r, z)) {
+          if (!*failed) gmgPcFallbacks_->inc();
+          *failed = true;
+          ppPc0_(r, z);
+        }
+        projectNodalMean(z);
+      };
+    } else if (opt_.reuseSolverResources) {
       // State-independent diagonal: assembled once per (mesh, dt).
       if (!ppPc0_ || ppPcDt_ != dt) {
         ppPc0_ = la::makeJacobi(*mesh_, 1, assemblePpDiag());
@@ -1265,8 +1700,39 @@ class ChnsSolver {
         projectNodalMean(z);
       };
     }
-    lastPp_ = la::cg(S, A, rhs, dp, opt_.ppKsp, &M,
-                     opt_.reuseSolverResources ? &ppWs_ : nullptr);
+    // The V-cycle (injection restriction != prolongation^T) is not
+    // symmetric, so preconditioned CG theory does not apply; BiCGStab
+    // carries the GMG path. The non-GMG path keeps historical CG.
+    //
+    // With gmgPrecond on, the solve is additionally allowed to fail soft:
+    // upstream GMG-degraded solves can hand this system states on which
+    // the deflated Jacobi preconditioner (Jacobi-then-project is mildly
+    // nonsymmetric) makes CG graze pAp <= 0, and BiCGStab can break down
+    // to a non-finite iterate. Either way the pressure increment for this
+    // block is skipped (dp = 0) instead of failing the step; the
+    // historical gmgPrecond=off path keeps its exact throwing semantics.
+    try {
+      lastPp_ = ppUseGmg
+                    ? la::bicgstab(S, A, rhs, dp, opt_.ppKsp, &M,
+                                   opt_.reuseSolverResources ? &ppWs_
+                                                             : nullptr)
+                    : la::cg(S, A, rhs, dp, opt_.ppKsp, &M,
+                             opt_.reuseSolverResources ? &ppWs_ : nullptr);
+    } catch (const CheckError&) {
+      if (!opt_.gmgPrecond) throw;
+      gmgPcFallbacks_->inc();
+      lastPp_ = la::KspResult{};
+      for (auto& v : dp) std::fill(v.begin(), v.end(), 0.0);
+    }
+    if (ppUseGmg && !lastPp_.converged) {
+      ppGmgRetired_ = true;
+      gmgRetirements_->inc();
+      ppGmg_.reset();
+    }
+    if (opt_.gmgPrecond && !fieldSane(dp)) {
+      gmgPcFallbacks_->inc();
+      for (auto& v : dp) std::fill(v.begin(), v.end(), 0.0);
+    }
     projectZeroMean(dp);  // physical normalization: zero mass-weighted mean
     dp_ = std::move(dp);
     // p^{n+1} = p^n + dp
@@ -1401,6 +1867,22 @@ class ChnsSolver {
   // construction and sized to the current mesh (storage reused across
   // solves). Only read while the owning solve's state fields are alive.
   Field chJCoef_, nsCoef_, ppCoef_;
+  // GMG preconditioning (gmgPrecond): one coarsened-tree hierarchy per
+  // mesh, shared by the per-solve Gmg objects. Cached unconditionally
+  // (hierarchy construction never touches solution state, so caching is
+  // bitwise-neutral and keeps reuse-on/off histories directly comparable);
+  // dropped by invalidateSolverCaches() on every real remesh.
+  std::shared_ptr<const la::GmgHierarchy<DIM>> gmgHier_;
+  std::unique_ptr<la::Gmg<DIM>> chGmg_, nsGmg_, ppGmg_;
+  obs::Counter* gmgHierBuilds_ =
+      &tel_->metrics.counter("gmgHierarchyBuilds");
+  // Graceful GMG degradation (see the gmgPrecond doc): per-family retire
+  // latches, reset on every real remesh.
+  bool chGmgRetired_ = false, nsGmgRetired_ = false, ppGmgRetired_ = false;
+  obs::Counter* gmgPcFallbacks_ =
+      &tel_->metrics.counter("gmgPcFallbacks");  ///< guarded-apply rescues
+  obs::Counter* gmgRetirements_ = &tel_->metrics.counter(
+      "gmgRetirements");  ///< families retired for a mesh epoch
 };
 
 }  // namespace pt::chns

@@ -50,6 +50,27 @@ const ElemMat<DIM>& refStiffness() {
   return m;
 }
 
+/// Reference convection-transpose matrices on [0,1]^DIM, one per
+/// direction: T_d[i][j] = ∫ (∂_d N_i) N_j — derivative on the TEST
+/// function, the shape of advection terms integrated by parts
+/// (−∫ u (v·∇N_i)). Physical scaling is h^(DIM-1).
+template <int DIM>
+const std::array<ElemMat<DIM>, DIM>& refConvection() {
+  static const std::array<ElemMat<DIM>, DIM> m = [] {
+    std::array<ElemMat<DIM>, DIM> out{};
+    const auto& quad = Quadrature<DIM, 2>::get();
+    const auto& bt = BasisTable<DIM, 2>::get();
+    for (int q = 0; q < Quadrature<DIM, 2>::kPoints; ++q)
+      for (int d = 0; d < DIM; ++d)
+        for (int i = 0; i < kNodes<DIM>; ++i)
+          for (int j = 0; j < kNodes<DIM>; ++j)
+            out[d][i * kNodes<DIM> + j] +=
+                quad.w[q] * bt.dN[q][i][d] * bt.N[q][j];
+    return out;
+  }();
+  return m;
+}
+
 /// y += (h^DIM * M_ref) x — elemental mass apply.
 template <int DIM>
 void applyMass(Real h, const Real* x, Real* y) {

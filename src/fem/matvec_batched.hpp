@@ -231,4 +231,216 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
   PT_MV_STOP(ta);
 }
 
+namespace matvecdetail {
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC optimize("O3")
+#endif
+
+/// Gather + two GEMMs for batches [b0, b1): YM/YK hold the mass and
+/// stiffness panel products at per-batch offsets of one shared buffer
+/// (batch b owns [batches[b].begin * kN * ndof, ...end * kN * ndof)), so
+/// concurrent calls on disjoint batch ranges are independent and the
+/// result is a pure function of the plan — no output races, no private
+/// copies, no reduction.
+template <int DIM>
+void computeCoefPanels(const RankMesh<DIM>& rm, const Real* AM, const Real* AK,
+                       const std::vector<Real>& x, std::vector<Real>& YM,
+                       std::vector<Real>& YK, int ndof, std::size_t b0,
+                       std::size_t b1) {
+  constexpr int kN = kNodes<DIM>;
+  const ElemPlan& plan = rm.plan;
+  std::vector<Real> X(std::size_t(kN) * kMatvecBatch * ndof);
+  for (std::size_t b = b0; b < b1; ++b) {
+    const ElemPlanBatch& batch = plan.batches[b];
+    const int m = static_cast<int>(batch.end - batch.begin);
+    const int cols = m * ndof;
+    const std::size_t off = std::size_t(batch.begin) * kN * ndof;
+    for (int ei = 0; ei < m; ++ei) {
+      const std::uint32_t* nodes =
+          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
+      for (int j = 0; j < kN; ++j) {
+        const Real* src = &x[std::size_t(nodes[j]) * ndof];
+        Real* dst = &X[std::size_t(j) * cols + std::size_t(ei) * ndof];
+        for (int d = 0; d < ndof; ++d) dst[d] = src[d];
+      }
+    }
+    for (int i = 0; i < kN; ++i) {
+      Real* __restrict__ Mi = &YM[off + std::size_t(i) * cols];
+      Real* __restrict__ Ki = &YK[off + std::size_t(i) * cols];
+      const Real* __restrict__ AMi = &AM[std::size_t(i) * kN];
+      const Real* __restrict__ AKi = &AK[std::size_t(i) * kN];
+      {
+        const Real am = AMi[0], ak = AKi[0];
+        const Real* __restrict__ X0 = &X[0];
+        for (int c = 0; c < cols; ++c) {
+          Mi[c] = am * X0[c];
+          Ki[c] = ak * X0[c];
+        }
+      }
+      for (int j = 1; j < kN; ++j) {
+        const Real am = AMi[j], ak = AKi[j];
+        const Real* __restrict__ Xj = &X[std::size_t(j) * cols];
+        for (int c = 0; c < cols; ++c) {
+          Mi[c] += am * Xj[c];
+          Ki[c] += ak * Xj[c];
+        }
+      }
+    }
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC pop_options
+#endif
+
+}  // namespace matvecdetail
+
+/// Batched MATVEC for per-element coefficient-block operators — the GMG
+/// level-operator engine:
+///
+///   y(v, a) += sum_e sum_b  cM[e](a,b) * (M_h x_b)|_e(v)
+///                         + cK[e](a,b) * (K_h x_b)|_e(v)
+///
+/// where M_h / K_h are the reference mass and stiffness actions at the
+/// element's size (scales h^DIM and h^(DIM-2), matching applyMass /
+/// applyStiffness), and cM / cK are per-element ndof x ndof row-major
+/// blocks stored per rank as nElems * ndof * ndof reals. This covers the
+/// CH approximate-Jacobian 2x2 blocks, the component-diagonal NS momentum
+/// diagonal, and the variable-coefficient pressure Poisson operator.
+///
+/// Determinism contract (stronger than matvecUniform's): results are
+/// bitwise identical for ANY thread count. The per-batch panel products
+/// (gather + two GEMMs) carry no cross-batch dependencies and run in
+/// parallel into per-batch slots of one pre-sized buffer; the scatter then
+/// runs serially in ascending batch order, followed by the serial
+/// hanging-element sweep, so the accumulation order into y is a pure
+/// function of the plan.
+template <int DIM>
+void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
+                      int ndof, const sim::PerRank<std::vector<Real>>& cM,
+                      const sim::PerRank<std::vector<Real>>& cK) {
+  constexpr int kN = kNodes<DIM>;
+  const int p = mesh.nRanks();
+  const int nd2 = ndof * ndof;
+  auto& pool = support::ThreadPool::instance();
+  matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    const ElemPlan& plan = rm.plan;
+    PT_CHECK(plan.isPure.size() == rm.nElems());
+    PT_CHECK(cM[r].size() == rm.nElems() * std::size_t(nd2));
+    PT_CHECK(cK[r].size() == rm.nElems() * std::size_t(nd2));
+    std::vector<Real>& yr = y[r];
+    yr.assign(rm.nNodes() * ndof, 0.0);
+
+    LevelOperatorCache<DIM> cacheM(1.0, 0.0), cacheK(0.0, 1.0);
+    std::array<const Real*, kMaxLevel + 1> opsM{}, opsK{};
+    for (const ElemPlanBatch& b : plan.batches) {
+      opsM[b.level] = cacheM.at(b.level).data();
+      opsK[b.level] = cacheK.at(b.level).data();
+    }
+    for (std::uint32_t e : plan.hangingElems) {
+      const Level lvl = rm.elems[e].level;
+      opsM[lvl] = cacheM.at(lvl).data();
+      opsK[lvl] = cacheK.at(lvl).data();
+    }
+
+    // Phase 1: panel products, parallel over batches (shared read-only
+    // inputs, disjoint per-batch output slots).
+    const std::size_t nPure = plan.pureElems.size();
+    std::vector<Real> YM(std::size_t(kN) * nPure * ndof);
+    std::vector<Real> YK(std::size_t(kN) * nPure * ndof);
+    auto panels = [&](std::size_t b0, std::size_t b1) {
+      // A_e is per batch; the loop re-reads it from the level table.
+      for (std::size_t b = b0; b < b1; ++b)
+        matvecdetail::computeCoefPanels(rm, opsM[plan.batches[b].level],
+                                        opsK[plan.batches[b].level], x[r], YM,
+                                        YK, ndof, b, b + 1);
+    };
+    if (innerThreads && plan.batches.size() > 1 && pool.threads() > 1) {
+      pool.parallelFor(plan.batches.size(),
+                       [&](int, std::size_t b0, std::size_t b1) {
+                         panels(b0, b1);
+                       });
+    } else {
+      panels(0, plan.batches.size());
+    }
+
+    // Phase 2: serial scatter in ascending batch order with the
+    // per-element coefficient-block mixing.
+    for (const ElemPlanBatch& batch : plan.batches) {
+      const int m = static_cast<int>(batch.end - batch.begin);
+      const int cols = m * ndof;
+      const std::size_t off = std::size_t(batch.begin) * kN * ndof;
+      for (int ei = 0; ei < m; ++ei) {
+        const std::uint32_t elem = plan.pureElems[batch.begin + ei];
+        const Real* bM = &cM[r][std::size_t(elem) * nd2];
+        const Real* bK = &cK[r][std::size_t(elem) * nd2];
+        const std::uint32_t* nodes =
+            &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
+        for (int j = 0; j < kN; ++j) {
+          Real* dst = &yr[std::size_t(nodes[j]) * ndof];
+          const Real* sM = &YM[off + std::size_t(j) * cols +
+                               std::size_t(ei) * ndof];
+          const Real* sK = &YK[off + std::size_t(j) * cols +
+                               std::size_t(ei) * ndof];
+          for (int a = 0; a < ndof; ++a) {
+            Real acc = 0;
+            for (int d = 0; d < ndof; ++d)
+              acc += bM[a * ndof + d] * sM[d] + bK[a * ndof + d] * sK[d];
+            dst[a] += acc;
+          }
+        }
+      }
+    }
+
+    // Hanging elements: weighted gather, zip, per-dof GEMV against both
+    // cached reference operators, coefficient-block mixing, weighted
+    // scatter — serial, after every batch, in ascending element order.
+    std::vector<Real> uLoc(std::size_t(kN) * ndof),
+        rLoc(std::size_t(kN) * ndof);
+    std::vector<Real> zin(std::size_t(kN) * ndof),
+        zoM(std::size_t(kN) * ndof), zoK(std::size_t(kN) * ndof);
+    for (std::uint32_t e : plan.hangingElems) {
+      gatherElem(rm, e, x[r], ndof, uLoc.data());
+      const Real* AM = opsM[rm.elems[e].level];
+      const Real* AK = opsK[rm.elems[e].level];
+      zipVec(uLoc.data(), zin.data(), kN, ndof);
+      for (int d = 0; d < ndof; ++d) {
+        const Real* zi = &zin[std::size_t(d) * kN];
+        Real* zm = &zoM[std::size_t(d) * kN];
+        Real* zk = &zoK[std::size_t(d) * kN];
+        for (int i = 0; i < kN; ++i) {
+          Real accM = 0, accK = 0;
+          const Real* AMi = &AM[std::size_t(i) * kN];
+          const Real* AKi = &AK[std::size_t(i) * kN];
+          for (int j = 0; j < kN; ++j) {
+            accM += AMi[j] * zi[j];
+            accK += AKi[j] * zi[j];
+          }
+          zm[i] = accM;
+          zk[i] = accK;
+        }
+      }
+      const Real* bM = &cM[r][std::size_t(e) * nd2];
+      const Real* bK = &cK[r][std::size_t(e) * nd2];
+      for (int i = 0; i < kN; ++i)
+        for (int a = 0; a < ndof; ++a) {
+          Real acc = 0;
+          for (int d = 0; d < ndof; ++d)
+            acc += bM[a * ndof + d] * zoM[std::size_t(d) * kN + i] +
+                   bK[a * ndof + d] * zoK[std::size_t(d) * kN + i];
+          rLoc[std::size_t(i) * ndof + a] = acc;
+        }
+      scatterAddElem(rm, e, rLoc.data(), ndof, yr);
+    }
+
+    mesh.comm().chargeWork(
+        r, (2.0 * matvecWorkPerElem<DIM>(ndof) + 2.0 * nd2 * kN) *
+               rm.nElems());
+  });
+  mesh.accumulate(y, ndof);
+}
+
 }  // namespace pt::fem

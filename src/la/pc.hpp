@@ -20,12 +20,20 @@ namespace pt::la {
 template <int DIM>
 using ElemMatFn = std::function<void(const Octant<DIM>&, Real* /*A_e*/)>;
 
+/// Indexed variant: also receives (rank, local element index) so callers
+/// with per-element coefficient tables (GMG level operators) can look the
+/// element up without re-deriving its position from the octant.
+template <int DIM>
+using ElemMatIdxFn =
+    std::function<void(int /*rank*/, std::size_t /*e*/, const Octant<DIM>&,
+                       Real* /*A_e*/)>;
+
 /// Assembles the (block-)diagonal of the global operator defined by an
 /// elemental matrix callback: out[node] = bs x bs diagonal block per node.
 /// Returned per rank: nNodes * bs * bs values, ghost-consistent.
 template <int DIM>
 Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
-                             const ElemMatFn<DIM>& elemMat) {
+                             const ElemMatIdxFn<DIM>& elemMat) {
   constexpr int kC = kNumChildren<DIM>;
   const int n = kC * ndof;
   Field diag = mesh.makeField(ndof * ndof);
@@ -34,7 +42,7 @@ Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
     const RankMesh<DIM>& rm = mesh.rank(r);
     for (std::size_t e = 0; e < rm.nElems(); ++e) {
       std::fill(Ae.begin(), Ae.end(), 0.0);
-      elemMat(rm.elems[e], Ae.data());
+      elemMat(r, e, rm.elems[e], Ae.data());
       // diag contribution of node v from corners c1, c2 sharing support v:
       // sum over (c1,c2) pairs w1 * A_e[c1,c2] * w2.
       for (int c1 = 0; c1 < kC; ++c1) {
@@ -60,6 +68,15 @@ Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
   }
   mesh.accumulate(diag, ndof * ndof);
   return diag;
+}
+
+template <int DIM>
+Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
+                             const ElemMatFn<DIM>& elemMat) {
+  return assembleDiagonalBlocks<DIM>(
+      mesh, ndof,
+      ElemMatIdxFn<DIM>([&elemMat](int, std::size_t, const Octant<DIM>& oct,
+                                   Real* Ae) { elemMat(oct, Ae); }));
 }
 
 /// Point-Jacobi preconditioner: z = D^-1 r using only the (d,d) entries of

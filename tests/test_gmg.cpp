@@ -4,13 +4,15 @@
 #include <deque>
 
 #include "apps/fields.hpp"
+#include "chns/params.hpp"
+#include "chns/solver.hpp"
 #include "fem/bc.hpp"
 #include "fem/matvec.hpp"
 #include "la/gmg.hpp"
 #include "la/ksp.hpp"
 #include "la/pc.hpp"
-#include "chns/params.hpp"
 #include "octree/balance.hpp"
+#include "support/thread_pool.hpp"
 
 namespace pt {
 namespace {
@@ -122,9 +124,9 @@ TEST(Gmg, PreconditionerBeatsJacobiIterationCount) {
   Field xj = mesh.makeField();
   auto resJ = la::gmres(S, A, fw, xj, opt, &Mj);
   // GMG-preconditioned GMRES.
-  la::LinOp<Field> Mg = gmg.preconditioner();
+  la::Pc<Field> Mg = gmg.preconditioner();
   Field xg = mesh.makeField();
-  auto resG = la::gmres(S, A, fw, xg, opt, &Mg);
+  auto resG = la::gmres(S, A, fw, xg, opt, Mg);
   EXPECT_TRUE(resJ.converged);
   EXPECT_TRUE(resG.converged);
   EXPECT_LT(resG.iterations, resJ.iterations / 3);  // level-independent-ish
@@ -194,12 +196,313 @@ TEST(Gmg, VariableCoefficientPoissonOnAdaptiveMesh) {
     v[0] = p[0] - p[1];
   });
   fem::zeroMasked(mesh, masks[0], b);
-  la::LinOp<Field> Mg = gmg.preconditioner();
+  la::Pc<Field> Mg = gmg.preconditioner();
   Field x = mesh.makeField();
   auto res = la::gmres(
-      S, ops0.op, b, x, {.rtol = 1e-8, .maxIterations = 300}, &Mg);
+      S, ops0.op, b, x, {.rtol = 1e-8, .maxIterations = 300}, Mg);
   EXPECT_TRUE(res.converged);
   EXPECT_LT(res.iterations, 40);  // strong preconditioning despite 10x jump
+}
+
+/// 3D variable-coefficient factory on an adaptive (hanging-node) mesh:
+/// div( (1/rho(phi)) grad p ) with Dirichlet boundary rows.
+la::GmgOpFactory<3> rho3dFactory(const chns::Params& P,
+                                 std::deque<Field>& masks) {
+  auto phiAt = [](const VecN<3>& x) {
+    return apps::dropPhi<3>(x, VecN<3>{{0.5, 0.5, 0.5}}, 0.3, 0.06);
+  };
+  return [&P, &masks, phiAt](const Mesh<3>& mesh,
+                             int level) -> la::GmgLevelOps<3> {
+    if (static_cast<int>(masks.size()) <= level) masks.resize(level + 1);
+    masks[level] = fem::boundaryMask(mesh);
+    const Field& mask = masks[level];
+    la::LinOp<Field> W = [&mesh, &P, phiAt](const Field& x, Field& y) {
+      fem::matvec<3>(mesh, x, y, 1,
+                     [&](const Octant<3>& oct, const Real* in, Real* out) {
+                       const Real coef =
+                           1.0 / P.rho(phiAt(oct.centerCoords()));
+                       Real tmp[8] = {};
+                       fem::applyStiffness<3>(oct.physSize(), in, tmp);
+                       for (int i = 0; i < 8; ++i) out[i] += coef * tmp[i];
+                     });
+    };
+    la::GmgLevelOps<3> ops;
+    ops.op = fem::dirichletOp(mesh, mask, W);
+    ops.diag = la::assembleDiagonalBlocks<3>(
+        mesh, 1, [&](const Octant<3>& oct, Real* Ae) {
+          const Real coef = 1.0 / P.rho(phiAt(oct.centerCoords()));
+          const auto& refK = fem::refStiffness<3>();
+          for (std::size_t k = 0; k < refK.size(); ++k)
+            Ae[k] = refK[k] * oct.physSize() * coef;
+        });
+    for (int r = 0; r < mesh.nRanks(); ++r)
+      for (std::size_t i = 0; i < mesh.rank(r).nNodes(); ++i)
+        if (mask[r][i] != 0.0) ops.diag[r][i] = 1.0;
+    return ops;
+  };
+}
+
+DistTree<3> adaptiveSphereTree(sim::SimComm& comm) {
+  OctList<3> tree;
+  buildTree<3>(
+      Octant<3>::root(),
+      [](const Octant<3>& o) {
+        auto c = o.centerCoords();
+        const Real d = std::abs(
+            std::hypot(c[0] - 0.5, c[1] - 0.5, c[2] - 0.5) - 0.3);
+        return d < 2.0 * o.physSize() ? Level(4) : Level(2);
+      },
+      tree);
+  tree = balanceTree(tree);
+  return DistTree<3>::fromGlobal(comm, tree);
+}
+
+TEST(Gmg, VariableCoefficientPoisson3DWithHangingNodes) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  auto dist = adaptiveSphereTree(comm);
+  chns::Params P;
+  P.rhoMinus = 0.1;  // 10x density contrast
+  std::deque<Field> masks;
+  auto factory = rho3dFactory(P, masks);
+  la::Gmg<3> gmg(comm, dist, factory, {.levels = 3, .minLevel = 1});
+  ASSERT_GE(gmg.numLevels(), 2);
+  const Mesh<3>& mesh = gmg.meshAt(0);
+  la::FieldSpace<3> S(mesh, 1);
+  auto ops0 = factory(mesh, 0);
+  Field b = mesh.makeField();
+  fem::setByPosition<3>(mesh, b, 1, [](const VecN<3>& p, Real* v) {
+    v[0] = p[0] - p[1] + 0.5 * p[2];
+  });
+  fem::zeroMasked(mesh, masks[0], b);
+  la::Pc<Field> Mg = gmg.preconditioner();
+  Field x = mesh.makeField();
+  auto res = la::gmres(
+      S, ops0.op, b, x, {.rtol = 1e-8, .maxIterations = 300}, Mg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.iterations, 40);
+}
+
+/// 2D variable-coefficient Dirichlet Poisson factory with a density jump
+/// across a circular interface (the pressure-Poisson shape).
+la::GmgOpFactory<2> rho2dFactory(const chns::Params& P,
+                                 std::deque<Field>& masks) {
+  auto phiAt = [](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.3, 0.03);
+  };
+  return [&P, &masks, phiAt](const Mesh<2>& mesh,
+                             int level) -> la::GmgLevelOps<2> {
+    if (static_cast<int>(masks.size()) <= level) masks.resize(level + 1);
+    masks[level] = fem::boundaryMask(mesh);
+    const Field& mask = masks[level];
+    la::LinOp<Field> W = [&mesh, &P, phiAt](const Field& x, Field& y) {
+      fem::matvec<2>(mesh, x, y, 1,
+                     [&](const Octant<2>& oct, const Real* in, Real* out) {
+                       const Real coef =
+                           1.0 / P.rho(phiAt(oct.centerCoords()));
+                       Real tmp[4] = {};
+                       fem::applyStiffness<2>(oct.physSize(), in, tmp);
+                       for (int i = 0; i < 4; ++i) out[i] += coef * tmp[i];
+                     });
+    };
+    la::GmgLevelOps<2> ops;
+    ops.op = fem::dirichletOp(mesh, mask, W);
+    ops.diag = la::assembleDiagonalBlocks<2>(
+        mesh, 1, [&](const Octant<2>& oct, Real* Ae) {
+          const Real coef = 1.0 / P.rho(phiAt(oct.centerCoords()));
+          const auto& refK = fem::refStiffness<2>();
+          for (std::size_t k = 0; k < refK.size(); ++k)
+            Ae[k] = refK[k] * coef;
+        });
+    for (int r = 0; r < mesh.nRanks(); ++r)
+      for (std::size_t i = 0; i < mesh.rank(r).nNodes(); ++i)
+        if (mask[r][i] != 0.0) ops.diag[r][i] = 1.0;
+    return ops;
+  };
+}
+
+TEST(Gmg, ChebyshevVsJacobiIterationComparison) {
+  // Same operator + hierarchy, only the smoother differs. On the hard
+  // interface problem (100x density contrast, level-7 adaptive mesh) the
+  // fixed-omega Jacobi damping is mistuned for some levels while the
+  // Chebyshev interval adapts to each level's estimated spectrum, so
+  // Chebyshev must not lose on outer Krylov iterations. Everything here is
+  // deterministic (simulated comm, serial reductions), so the comparison
+  // is exact and reproducible.
+  sim::SimComm comm(1, sim::Machine::loopback());
+  OctList<2> t;
+  buildTree<2>(
+      Octant<2>::root(),
+      [](const Octant<2>& o) {
+        auto c = o.centerCoords();
+        const Real d = std::abs(std::hypot(c[0] - 0.5, c[1] - 0.5) - 0.3);
+        return d < 3.0 * o.physSize() ? Level(7) : Level(4);
+      },
+      t);
+  t = balanceTree(t);
+  auto dist = DistTree<2>::fromGlobal(comm, t);
+  chns::Params P;
+  P.rhoMinus = 0.01;  // 100x density contrast
+  auto runSmoother = [&](la::GmgSmoother sm, Field& x) {
+    std::deque<Field> masks;
+    auto fac = rho2dFactory(P, masks);
+    la::Gmg<2> gmg(comm, dist, fac,
+                   {.levels = 4, .smoother = sm, .minLevel = 2});
+    const Mesh<2>& mesh = gmg.meshAt(0);
+    la::FieldSpace<2> S(mesh, 1);
+    auto ops0 = fac(mesh, 0);
+    Field b = mesh.makeField();
+    fem::setByPosition<2>(mesh, b, 1, [](const VecN<2>& p, Real* v) {
+      v[0] = p[0] - p[1];
+    });
+    fem::zeroMasked(mesh, masks[0], b);
+    la::Pc<Field> M = gmg.preconditioner();
+    x = mesh.makeField();
+    return la::gmres(S, ops0.op, b, x,
+                     {.rtol = 1e-9, .maxIterations = 300}, M);
+  };
+  Field xj, xc;
+  auto resJ = runSmoother(la::GmgSmoother::kJacobi, xj);
+  auto resC = runSmoother(la::GmgSmoother::kChebyshev, xc);
+  EXPECT_TRUE(resJ.converged);
+  EXPECT_TRUE(resC.converged);
+  EXPECT_LE(resC.iterations, resJ.iterations);
+  EXPECT_LT(resC.iterations, 40);
+  EXPECT_LT(resJ.iterations, 40);
+}
+
+/// ndof=1 mass+stiffness coefficient-block factory routed through the
+/// batched panel-GEMM engine (fem::matvecCoefBlocks) — the level-operator
+/// path the CHNS solver uses.
+template <int DIM>
+la::GmgOpFactory<DIM> unitCoefBlockFactory() {
+  return [](const Mesh<DIM>& mesh, int) -> la::GmgLevelOps<DIM> {
+    auto cM =
+        std::make_shared<sim::PerRank<std::vector<Real>>>(mesh.nRanks());
+    auto cK =
+        std::make_shared<sim::PerRank<std::vector<Real>>>(mesh.nRanks());
+    for (int r = 0; r < mesh.nRanks(); ++r) {
+      const std::size_t ne = mesh.rank(r).nElems();
+      (*cM)[r].assign(ne, 1.0);
+      (*cK)[r].assign(ne, 1.0);
+    }
+    return la::makeCoefBlockLevelOps<DIM>(mesh, 1, std::move(cM),
+                                          std::move(cK));
+  };
+}
+
+struct ThreadGuard {
+  explicit ThreadGuard(int n) {
+    support::ThreadPool::instance().setThreads(n);
+  }
+  ~ThreadGuard() { support::ThreadPool::instance().setThreads(1); }
+};
+
+TEST(Gmg, VcycleBitwiseDeterministicAcrossThreads) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  OctList<2> tree;
+  buildTree<2>(
+      Octant<2>::root(),
+      [](const Octant<2>& o) {
+        auto c = o.centerCoords();
+        return std::hypot(c[0] - 0.4, c[1] - 0.6) < 0.3 ? Level(6)
+                                                        : Level(4);
+      },
+      tree);
+  tree = balanceTree(tree);
+  auto dist = DistTree<2>::fromGlobal(comm, tree);
+  auto hier = la::GmgHierarchy<2>::build(comm, dist, nullptr, 3, 1);
+  Field r = hier->meshAt(0).makeField();
+  fem::setByPosition<2>(hier->meshAt(0), r, 1,
+                        [](const VecN<2>& p, Real* v) {
+                          v[0] = std::sin(7 * p[0]) + std::cos(5 * p[1]);
+                        });
+  auto apply = [&](int threads) {
+    ThreadGuard tg(threads);
+    la::Gmg<2> gmg(comm, hier, unitCoefBlockFactory<2>(), {.levels = 3});
+    Field z;
+    gmg.apply(r, z);
+    return z;
+  };
+  const Field z1 = apply(1);
+  const Field z4 = apply(4);
+  for (int rk = 0; rk < comm.size(); ++rk)
+    EXPECT_EQ(z1[rk], z4[rk]) << "V-cycle not bitwise thread-invariant";
+}
+
+TEST(Gmg, CoarseSolveFailureThrowsTypedError) {
+  sim::SimComm comm(1, sim::Machine::loopback());
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(5));
+  std::deque<Field> masks;
+  obs::Registry reg;
+  la::Gmg<2> gmg(comm, tree, poissonFactory<2>(masks),
+                 {.levels = 3,
+                  .coarseSolve = {.rtol = 1e-14, .maxIterations = 1}},
+                 &reg);
+  Field r = gmg.meshAt(0).makeField(), z;
+  fem::setByPosition<2>(gmg.meshAt(0), r, 1, [](const VecN<2>& p, Real* v) {
+    v[0] = p[0] * (1 - p[1]);
+  });
+  fem::zeroMasked(gmg.meshAt(0), masks[0], r);
+  EXPECT_THROW(gmg.apply(r, z), la::GmgCoarseSolveError);
+  EXPECT_GE(reg.counter("gmg.coarse_fail").value(), 1);
+}
+
+// ---- CHNS hierarchy caching -------------------------------------------------
+
+TEST(GmgChns, HierarchyPreservedAcrossNoopRemeshes) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  chns::ChnsOptions<2> opt;
+  opt.params.Cn = 0.03;
+  opt.dt = 1e-3;
+  opt.blocksPerStep = 1;
+  // Every element already sits at the target level -> remeshNow is a no-op.
+  opt.coarseLevel = opt.interfaceLevel = opt.featureLevel = 4;
+  opt.referenceLevel = 4;
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(4));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition([&](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.25, opt.params.Cn);
+  });
+  auto builds = [&] {
+    return s.telemetry().metrics.counter("gmgHierarchyBuilds").value();
+  };
+  EXPECT_EQ(builds(), 0);  // lazy: nothing until the first solve
+  s.step();
+  EXPECT_EQ(builds(), 1);  // one hierarchy shared by CH/NS/PP
+  s.remeshNow();
+  s.remeshNow();
+  EXPECT_EQ(s.noopRemeshes(), 2);
+  s.step();
+  EXPECT_EQ(builds(), 1) << "no-op remesh dropped the GMG hierarchy";
+}
+
+TEST(GmgChns, HierarchyRebuiltOnRealRemesh) {
+  sim::SimComm comm(2, sim::Machine::loopback());
+  chns::ChnsOptions<2> opt;
+  opt.params.Cn = 0.03;
+  opt.dt = 1e-3;
+  opt.blocksPerStep = 1;
+  opt.remeshEvery = 1;
+  opt.coarseLevel = 3;
+  opt.interfaceLevel = 5;
+  opt.featureLevel = 5;
+  opt.referenceLevel = 5;
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(4));
+  chns::ChnsSolver<2> s(comm, std::move(tree), opt);
+  s.setInitialCondition([&](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{0.5, 0.5}}, 0.25, opt.params.Cn);
+  });
+  const long r0 = s.meshRebuilds();
+  s.step();
+  s.step();
+  ASSERT_GT(s.meshRebuilds(), r0);  // the drop forces a real remesh
+  const auto builds =
+      s.telemetry().metrics.counter("gmgHierarchyBuilds").value();
+  // One build per mesh epoch that ran solves: the real remeshes dropped
+  // the cached hierarchy, and it came back exactly once per new mesh.
+  EXPECT_GT(builds, 1) << "real remesh did not invalidate the hierarchy";
+  EXPECT_LE(builds, s.meshRebuilds() - r0 + 1)
+      << "hierarchy rebuilt more than once per mesh";
 }
 
 }  // namespace
