@@ -9,6 +9,10 @@
 # build type in the JSON context.
 #
 #   ./bench/run_matvec_bench.sh [--benchmark_filter=...]
+#
+# Regression gating: set PT_BENCH_BASELINE=/path/to/BENCH_matvec.json (e.g.
+# the checked-in copy) and the run fails if any shared config regresses by
+# more than PT_BENCH_THRESHOLD (default 0.10 = 10%) per tools/bench_compare.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,3 +31,9 @@ fi
 # Schema gate: a malformed BENCH_matvec.json fails the run. Compare runs
 # with tools/bench_compare.py.
 python3 tools/trace_summary.py BENCH_matvec.json
+
+# Optional regression gate against a recorded baseline.
+if [[ -n "${PT_BENCH_BASELINE:-}" ]]; then
+  python3 tools/bench_compare.py "$PT_BENCH_BASELINE" BENCH_matvec.json \
+    --threshold "${PT_BENCH_THRESHOLD:-0.10}"
+fi

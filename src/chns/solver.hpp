@@ -103,6 +103,16 @@ struct ChnsOptions {
   /// where even the historical preconditioner saturates every cap — thus
   /// run no worse than the historical path instead of failing the step.
   bool gmgPrecond = true;
+
+  /// SIMD microkernels in the batched MATVEC engine (fem/simd.hpp): when
+  /// on (default), panel GEMMs run at the widest runtime-detected ISA tier
+  /// (AVX-512F / AVX2+FMA; PT_SIMD can clamp it down). Off pins the scalar
+  /// tier, which replays the historical loop nest operation-for-operation —
+  /// the bitwise-comparable baseline the kernel-equivalence tests pin.
+  /// Vector tiers agree with it to roundoff (~1e-13 rel) and keep both
+  /// engines' determinism contracts for a fixed tier.
+  bool simdKernels = true;
+
   /// Per-solve GMG tuning. CH is a nonsymmetric 2x2 block system carrying
   /// the frozen advection coupling on per-element convection blocks:
   /// damped block-Jacobi smoothing (no eigenvalue estimation per Newton
@@ -555,6 +565,12 @@ class ChnsSolver {
   /// BiCGStab diverge, costing more than the term buys. Rebuilt every
   /// makePc call — the Gmg is a pure function of (mesh, iterate, velocity,
   /// dt), so histories are independent of caching.
+  /// Kernel tier for the batched engine under this solver's options:
+  /// simdKernels off pins the scalar tier (the historical engine, bitwise).
+  fem::SimdIsa kernelIsa() const {
+    return opt_.simdKernels ? fem::simdIsa() : fem::SimdIsa::kScalar;
+  }
+
   void buildChGmg(Real dt, const Field& u) {
     obs::TimedSpan at(timers_, "ch-assemble");
     const auto& hier = ensureGmgHierarchy();
@@ -597,7 +613,8 @@ class ChnsSolver {
         }
       }
       return la::makeCoefBlockLevelOps<DIM>(m, 2, std::move(cM),
-                                            std::move(cK), std::move(cT));
+                                            std::move(cK), std::move(cT),
+                                            kernelIsa());
     };
     chGmg_ = std::make_unique<la::Gmg<DIM>>(*comm_, hier, factory,
                                             opt_.gmgCh, &tel_->metrics);
@@ -630,8 +647,8 @@ class ChnsSolver {
         }
       }
       la::GmgLevelOps<DIM> ops =
-          la::makeCoefBlockLevelOps<DIM>(m, DIM, std::move(cM),
-                                         std::move(cK));
+          la::makeCoefBlockLevelOps<DIM>(m, DIM, std::move(cM), std::move(cK),
+                                         nullptr, kernelIsa());
       // Per-level Dirichlet rows: the mask is owned by a shared_ptr kept
       // alive inside the op closure (dirichletOp captures it by reference),
       // and mirrored into ops.mask for the smoother-diagonal treatment.
@@ -673,8 +690,8 @@ class ChnsSolver {
         for (std::size_t e = 0; e < ne; ++e)
           (*cK)[r][e] = dt / (P.We * P.rho(phibar[l][r][e]));
       }
-      la::GmgLevelOps<DIM> ops =
-          la::makeCoefBlockLevelOps<DIM>(m, 1, std::move(cM), std::move(cK));
+      la::GmgLevelOps<DIM> ops = la::makeCoefBlockLevelOps<DIM>(
+          m, 1, std::move(cM), std::move(cK), nullptr, kernelIsa());
       // Euclidean nodal-mean deflation on this level's own node set; the
       // level operator is also projection-wrapped so the coarse Krylov
       // solve stays on the deflated subspace.

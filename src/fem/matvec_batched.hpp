@@ -10,9 +10,18 @@
 // column (e, d) holding dof d of element e — exactly the GEMM tile the zip
 // layout was built for), the apply is one dense kN x kN GEMM streaming
 // unit-stride across the panel, and the scatter adds the result panel back
-// through the plan's flat node indices. Hanging elements fall back to
-// zipVec + per-dof GEMV with the same cached A_e, then the weighted
-// scatter.
+// through the plan's flat node indices. Hanging elements keep their
+// per-element weighted gather/scatter (the constraint interpolation), but
+// same-level runs of them share panels too, so the A_e apply is the same
+// batched GEMM everywhere.
+//
+// The panel loops run on the fem/simd.hpp microkernels: panels are padded
+// to kPanelPad columns and 64-byte aligned, the gather streams unit-stride
+// through the plan's transposed (SoA) node map, and the GEMM dispatches at
+// runtime to scalar / AVX2+FMA / AVX-512F tiers (PT_SIMD overrides; see
+// support/buildinfo.hpp). The scalar tier replays the historical loop nest
+// operation-for-operation, so `isa = SimdIsa::kScalar` IS the pre-SIMD
+// engine bitwise; the vector tiers agree to roundoff (~1e-13 rel).
 //
 // Accuracy contract: this path REASSOCIATES floating point relative to the
 // per-element engine (panel GEMM sums in a different order; the coefficient
@@ -20,10 +29,10 @@
 // so results agree with matvec()/matvecNaive() to roundoff (~1e-13 rel),
 // not bit-for-bit. Threading splits batches into static partitions with a
 // private output buffer per partition and reduces them in fixed partition
-// order, so for a fixed thread count results are deterministic run-to-run;
-// across different thread counts the reduction order changes and results
-// again agree only to roundoff. Callers that need bit-identity use the
-// planned per-element engine in matvec.hpp.
+// order, so for a fixed thread count AND a fixed kernel tier results are
+// deterministic run-to-run; across different thread counts the reduction
+// order changes and results again agree only to roundoff. Callers that
+// need bit-identity use the planned per-element engine in matvec.hpp.
 #pragma once
 
 #include <array>
@@ -31,6 +40,7 @@
 
 #include "fem/layout.hpp"
 #include "fem/matvec.hpp"
+#include "fem/simd.hpp"
 #include "mesh/mesh.hpp"
 #include "support/thread_pool.hpp"
 
@@ -66,24 +76,20 @@ class LevelOperatorCache {
 
 namespace matvecdetail {
 
-// The panel loops below only vectorize at -O3 (GCC's -O2 cost model skips
-// them); scope that to this one function instead of changing global flags.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC push_options
-#pragma GCC optimize("O3")
-#endif
-
 /// Applies batches [b0, b1) of one rank's plan into yb. X/Y panel scratch
 /// is local, so concurrent calls on disjoint batch ranges are independent.
 template <int DIM>
 void applyBatchRange(const RankMesh<DIM>& rm,
                      const std::array<const Real*, kMaxLevel + 1>& opsByLevel,
                      const std::vector<Real>& x, std::vector<Real>& yb,
-                     int ndof, std::size_t b0, std::size_t b1) {
+                     int ndof, std::size_t b0, std::size_t b1, SimdIsa isa) {
   constexpr int kN = kNodes<DIM>;
   const ElemPlan& plan = rm.plan;
-  std::vector<Real> X(std::size_t(kN) * kMatvecBatch * ndof);
-  std::vector<Real> Y(std::size_t(kN) * kMatvecBatch * ndof);
+  const std::size_t panelCap =
+      std::size_t(kN) * padCols(int(kMatvecBatch) * ndof);
+  PanelBuf xbuf, ybuf;
+  Real* X = xbuf.ensure(panelCap);
+  Real* Y = ybuf.ensure(panelCap);
   PT_MV_TIMER(tg, "gather");
   PT_MV_TIMER(tk, "kernel");
   PT_MV_TIMER(ts, "scatter");
@@ -91,57 +97,28 @@ void applyBatchRange(const RankMesh<DIM>& rm,
     const ElemPlanBatch& batch = plan.batches[b];
     const int m = static_cast<int>(batch.end - batch.begin);
     const int cols = m * ndof;
+    const int colsPad = padCols(cols);
     const Real* A = opsByLevel[batch.level];
-    // Gather: zip corner values into the dof-major panel, column (e, d).
+    // Gather: zip corner values into the dof-major panel, column (e, d),
+    // unit-stride through the transposed node map; pad columns zeroed.
     PT_MV_START(tg);
-    for (int ei = 0; ei < m; ++ei) {
-      const std::uint32_t* nodes =
-          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
-      for (int j = 0; j < kN; ++j) {
-        const Real* src = &x[std::size_t(nodes[j]) * ndof];
-        Real* dst = &X[std::size_t(j) * cols + std::size_t(ei) * ndof];
-        for (int d = 0; d < ndof; ++d) dst[d] = src[d];
-      }
-    }
+    gatherPanelT(x.data(), &plan.pureNodesT[std::size_t(batch.begin) * kN],
+                 kN, m, ndof, colsPad, X);
     PT_MV_STOP(tg);
-    // Kernel: Y = A * X, one dense GEMM streaming across the panel (first
-    // rank-1 term stores, the rest accumulate — no separate zero pass).
-    // __restrict__ lets -O2 vectorize the column loops without runtime
-    // alias checks (X and Y are distinct local panels by construction).
+    // Kernel: Y = A * X, one dense GEMM streaming across the panel at the
+    // selected ISA tier (first rank-1 term stores, the rest accumulate —
+    // no separate zero pass).
     PT_MV_START(tk);
-    for (int i = 0; i < kN; ++i) {
-      Real* __restrict__ Yi = &Y[std::size_t(i) * cols];
-      const Real* __restrict__ Ai = &A[std::size_t(i) * kN];
-      {
-        const Real a = Ai[0];
-        const Real* __restrict__ X0 = &X[0];
-        for (int c = 0; c < cols; ++c) Yi[c] = a * X0[c];
-      }
-      for (int j = 1; j < kN; ++j) {
-        const Real a = Ai[j];
-        const Real* __restrict__ Xj = &X[std::size_t(j) * cols];
-        for (int c = 0; c < cols; ++c) Yi[c] += a * Xj[c];
-      }
-    }
+    panelGemm(isa, A, kN, X, Y, cols, colsPad);
     PT_MV_STOP(tk);
-    // Scatter: add the result panel back through the flat node indices.
+    // Scatter: add the result panel back through the flat node indices, in
+    // the engine's historical element-outer accumulation order.
     PT_MV_START(ts);
-    for (int ei = 0; ei < m; ++ei) {
-      const std::uint32_t* nodes =
-          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
-      for (int j = 0; j < kN; ++j) {
-        Real* dst = &yb[std::size_t(nodes[j]) * ndof];
-        const Real* src = &Y[std::size_t(j) * cols + std::size_t(ei) * ndof];
-        for (int d = 0; d < ndof; ++d) dst[d] += src[d];
-      }
-    }
+    scatterAddPanel(Y, &plan.pureNodes[std::size_t(batch.begin) * kN], kN, m,
+                    ndof, colsPad, yb.data());
     PT_MV_STOP(ts);
   }
 }
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC pop_options
-#endif
 
 }  // namespace matvecdetail
 
@@ -153,7 +130,7 @@ void applyBatchRange(const RankMesh<DIM>& rm,
 /// determinism contract relative to the per-element engine.
 template <int DIM>
 void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
-                   Real massCoef, Real stiffCoef) {
+                   Real massCoef, Real stiffCoef, SimdIsa isa = simdIsa()) {
   constexpr int kN = kNodes<DIM>;
   const int p = mesh.nRanks();
   auto& pool = support::ThreadPool::instance();
@@ -179,7 +156,7 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
         (innerThreads && plan.batches.size() > 1) ? pool.threads() : 1;
     if (nParts <= 1) {
       matvecdetail::applyBatchRange(rm, opsByLevel, x[r], yr, ndof, 0,
-                                    plan.batches.size());
+                                    plan.batches.size(), isa);
     } else {
       // Partition-private outputs, reduced in fixed partition order: the
       // result depends only on (nBatches, thread count), not scheduling.
@@ -191,7 +168,7 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
                           : (priv[part - 1].assign(yr.size(), 0.0),
                              priv[part - 1]);
             matvecdetail::applyBatchRange(rm, opsByLevel, x[r], out, ndof, b0,
-                                          b1);
+                                          b1, isa);
           });
       pool.parallelFor(yr.size(), [&](int, std::size_t i0, std::size_t i1) {
         for (const std::vector<Real>& pb : priv) {
@@ -201,26 +178,53 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
       });
     }
 
-    // Hanging elements: weighted gather, zip, per-dof GEMV with the same
-    // cached A_e, unzip, weighted scatter.
-    std::vector<Real> uLoc(std::size_t(kN) * ndof), rLoc(std::size_t(kN) * ndof);
-    std::vector<Real> zin(std::size_t(kN) * ndof), zout(std::size_t(kN) * ndof);
-    for (std::uint32_t e : plan.hangingElems) {
-      gatherElem(rm, e, x[r], ndof, uLoc.data());
-      const Real* A = opsByLevel[rm.elems[e].level];
-      zipVec(uLoc.data(), zin.data(), kN, ndof);
-      for (int d = 0; d < ndof; ++d) {
-        const Real* zi = &zin[std::size_t(d) * kN];
-        Real* zo = &zout[std::size_t(d) * kN];
-        for (int i = 0; i < kN; ++i) {
-          Real acc = 0;
-          const Real* Ai = &A[std::size_t(i) * kN];
-          for (int j = 0; j < kN; ++j) acc += Ai[j] * zi[j];
-          zo[i] = acc;
+    // Hanging elements: the weighted gather/scatter (constraint
+    // interpolation) stays per-element, but the A_e apply is batched
+    // through the same panel GEMM as the pure path — consecutive
+    // same-level runs of hangingElems zip into one panel and one GEMM
+    // applies A_e to the whole run at the selected tier. Element order,
+    // and hence the accumulation order into yr, is unchanged, and per
+    // (element, dof) column the GEMM performs the historical GEMV's
+    // multiply-add sequence.
+    if (const std::size_t nh = plan.hangingElems.size()) {
+      std::vector<Real> uLoc(std::size_t(kN) * ndof),
+          rLoc(std::size_t(kN) * ndof);
+      const std::size_t panelCap =
+          std::size_t(kN) * padCols(int(kMatvecBatch) * ndof);
+      PanelBuf xbuf, ybuf;
+      Real* X = xbuf.ensure(panelCap);
+      Real* Y = ybuf.ensure(panelCap);
+      std::size_t i = 0;
+      while (i < nh) {
+        const Level lvl = rm.elems[plan.hangingElems[i]].level;
+        std::size_t runEnd = i + 1;
+        while (runEnd < nh && runEnd - i < kMatvecBatch &&
+               rm.elems[plan.hangingElems[runEnd]].level == lvl)
+          ++runEnd;
+        const int m = static_cast<int>(runEnd - i);
+        const int cols = m * ndof;
+        const int colsPad = padCols(cols);
+        for (int ei = 0; ei < m; ++ei) {
+          gatherElem(rm, plan.hangingElems[i + ei], x[r], ndof, uLoc.data());
+          for (int j = 0; j < kN; ++j)
+            for (int d = 0; d < ndof; ++d)
+              X[std::size_t(j) * colsPad + std::size_t(ei) * ndof + d] =
+                  uLoc[std::size_t(j) * ndof + d];
         }
+        for (int j = 0; j < kN; ++j)
+          for (int c = cols; c < colsPad; ++c)
+            X[std::size_t(j) * colsPad + c] = 0.0;
+        panelGemm(isa, opsByLevel[lvl], kN, X, Y, cols, colsPad);
+        for (int ei = 0; ei < m; ++ei) {
+          for (int j = 0; j < kN; ++j)
+            for (int d = 0; d < ndof; ++d)
+              rLoc[std::size_t(j) * ndof + d] =
+                  Y[std::size_t(j) * colsPad + std::size_t(ei) * ndof + d];
+          scatterAddElem(rm, plan.hangingElems[i + ei], rLoc.data(), ndof,
+                         yr);
+        }
+        i = runEnd;
       }
-      unzipVec(zout.data(), rLoc.data(), kN, ndof);
-      scatterAddElem(rm, e, rLoc.data(), ndof, yr);
     }
 
     mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
@@ -233,67 +237,49 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
 
 namespace matvecdetail {
 
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC push_options
-#pragma GCC optimize("O3")
-#endif
-
 /// Gather + two GEMMs for batches [b0, b1): YM/YK hold the mass and
-/// stiffness panel products at per-batch offsets of one shared buffer
-/// (batch b owns [batches[b].begin * kN * ndof, ...end * kN * ndof)), so
-/// concurrent calls on disjoint batch ranges are independent and the
-/// result is a pure function of the plan — no output races, no private
-/// copies, no reduction.
+/// stiffness panel products at per-batch padded offsets panelOff[b] of one
+/// shared buffer, so concurrent calls on disjoint batch ranges are
+/// independent and the result is a pure function of the plan — no output
+/// races, no private copies, no reduction. The two panel GEMMs replay, per
+/// output value, exactly the operation sequence of the historical fused
+/// M/K loop, so the scalar tier stays bitwise identical to it.
 template <int DIM>
-void computeCoefPanels(const RankMesh<DIM>& rm, const Real* AM, const Real* AK,
+void computeCoefPanels(const RankMesh<DIM>& rm,
+                       const std::array<const Real*, kMaxLevel + 1>& opsM,
+                       const std::array<const Real*, kMaxLevel + 1>& opsK,
                        const std::vector<Real>& x, std::vector<Real>& YM,
-                       std::vector<Real>& YK, int ndof, std::size_t b0,
-                       std::size_t b1) {
+                       std::vector<Real>& YK,
+                       const std::vector<std::size_t>& panelOff, int ndof,
+                       std::size_t b0, std::size_t b1, SimdIsa isa) {
   constexpr int kN = kNodes<DIM>;
   const ElemPlan& plan = rm.plan;
-  std::vector<Real> X(std::size_t(kN) * kMatvecBatch * ndof);
+  PanelBuf xbuf;
+  Real* X = xbuf.ensure(std::size_t(kN) * padCols(int(kMatvecBatch) * ndof));
   for (std::size_t b = b0; b < b1; ++b) {
     const ElemPlanBatch& batch = plan.batches[b];
     const int m = static_cast<int>(batch.end - batch.begin);
     const int cols = m * ndof;
-    const std::size_t off = std::size_t(batch.begin) * kN * ndof;
-    for (int ei = 0; ei < m; ++ei) {
-      const std::uint32_t* nodes =
-          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
-      for (int j = 0; j < kN; ++j) {
-        const Real* src = &x[std::size_t(nodes[j]) * ndof];
-        Real* dst = &X[std::size_t(j) * cols + std::size_t(ei) * ndof];
-        for (int d = 0; d < ndof; ++d) dst[d] = src[d];
-      }
-    }
-    for (int i = 0; i < kN; ++i) {
-      Real* __restrict__ Mi = &YM[off + std::size_t(i) * cols];
-      Real* __restrict__ Ki = &YK[off + std::size_t(i) * cols];
-      const Real* __restrict__ AMi = &AM[std::size_t(i) * kN];
-      const Real* __restrict__ AKi = &AK[std::size_t(i) * kN];
-      {
-        const Real am = AMi[0], ak = AKi[0];
-        const Real* __restrict__ X0 = &X[0];
-        for (int c = 0; c < cols; ++c) {
-          Mi[c] = am * X0[c];
-          Ki[c] = ak * X0[c];
-        }
-      }
-      for (int j = 1; j < kN; ++j) {
-        const Real am = AMi[j], ak = AKi[j];
-        const Real* __restrict__ Xj = &X[std::size_t(j) * cols];
-        for (int c = 0; c < cols; ++c) {
-          Mi[c] += am * Xj[c];
-          Ki[c] += ak * Xj[c];
-        }
-      }
-    }
+    const int colsPad = padCols(cols);
+    const std::size_t off = panelOff[b];
+    gatherPanelT(x.data(), &plan.pureNodesT[std::size_t(batch.begin) * kN],
+                 kN, m, ndof, colsPad, X);
+    panelGemm(isa, opsM[batch.level], kN, X, &YM[off], cols, colsPad);
+    panelGemm(isa, opsK[batch.level], kN, X, &YK[off], cols, colsPad);
   }
 }
 
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC pop_options
-#endif
+/// Padded per-batch offsets into the shared YM/YK panel buffers; the
+/// returned vector has nBatches + 1 entries (last = total buffer size).
+inline std::vector<std::size_t> coefPanelOffsets(const ElemPlan& plan, int kN,
+                                                 int ndof) {
+  std::vector<std::size_t> off(plan.batches.size() + 1, 0);
+  for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+    const int m = static_cast<int>(plan.batches[b].end - plan.batches[b].begin);
+    off[b + 1] = off[b] + std::size_t(kN) * padCols(m * ndof);
+  }
+  return off;
+}
 
 }  // namespace matvecdetail
 
@@ -310,8 +296,10 @@ void computeCoefPanels(const RankMesh<DIM>& rm, const Real* AM, const Real* AK,
 /// CH approximate-Jacobian 2x2 blocks, the component-diagonal NS momentum
 /// diagonal, and the variable-coefficient pressure Poisson operator.
 ///
-/// Determinism contract (stronger than matvecUniform's): results are
-/// bitwise identical for ANY thread count. The per-batch panel products
+/// Determinism contract (stronger than matvecUniform's): for a fixed
+/// kernel tier, results are bitwise identical for ANY thread count — and
+/// the scalar tier is bitwise identical to the historical (pre-SIMD)
+/// engine. The per-batch panel products
 /// (gather + two GEMMs) carry no cross-batch dependencies and run in
 /// parallel into per-batch slots of one pre-sized buffer; the scatter then
 /// runs serially in ascending batch order, followed by the serial
@@ -320,7 +308,8 @@ void computeCoefPanels(const RankMesh<DIM>& rm, const Real* AM, const Real* AK,
 template <int DIM>
 void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
                       int ndof, const sim::PerRank<std::vector<Real>>& cM,
-                      const sim::PerRank<std::vector<Real>>& cK) {
+                      const sim::PerRank<std::vector<Real>>& cK,
+                      SimdIsa isa = simdIsa()) {
   constexpr int kN = kNodes<DIM>;
   const int p = mesh.nRanks();
   const int nd2 = ndof * ndof;
@@ -347,16 +336,14 @@ void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
     }
 
     // Phase 1: panel products, parallel over batches (shared read-only
-    // inputs, disjoint per-batch output slots).
-    const std::size_t nPure = plan.pureElems.size();
-    std::vector<Real> YM(std::size_t(kN) * nPure * ndof);
-    std::vector<Real> YK(std::size_t(kN) * nPure * ndof);
+    // inputs, disjoint per-batch padded output slots).
+    const std::vector<std::size_t> panelOff =
+        matvecdetail::coefPanelOffsets(plan, kN, ndof);
+    std::vector<Real> YM(panelOff.back());
+    std::vector<Real> YK(panelOff.back());
     auto panels = [&](std::size_t b0, std::size_t b1) {
-      // A_e is per batch; the loop re-reads it from the level table.
-      for (std::size_t b = b0; b < b1; ++b)
-        matvecdetail::computeCoefPanels(rm, opsM[plan.batches[b].level],
-                                        opsK[plan.batches[b].level], x[r], YM,
-                                        YK, ndof, b, b + 1);
+      matvecdetail::computeCoefPanels(rm, opsM, opsK, x[r], YM, YK, panelOff,
+                                      ndof, b0, b1, isa);
     };
     if (innerThreads && plan.batches.size() > 1 && pool.threads() > 1) {
       pool.parallelFor(plan.batches.size(),
@@ -369,10 +356,11 @@ void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
 
     // Phase 2: serial scatter in ascending batch order with the
     // per-element coefficient-block mixing.
-    for (const ElemPlanBatch& batch : plan.batches) {
+    for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+      const ElemPlanBatch& batch = plan.batches[b];
       const int m = static_cast<int>(batch.end - batch.begin);
-      const int cols = m * ndof;
-      const std::size_t off = std::size_t(batch.begin) * kN * ndof;
+      const int colsPad = padCols(m * ndof);
+      const std::size_t off = panelOff[b];
       for (int ei = 0; ei < m; ++ei) {
         const std::uint32_t elem = plan.pureElems[batch.begin + ei];
         const Real* bM = &cM[r][std::size_t(elem) * nd2];
@@ -381,9 +369,9 @@ void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
             &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
         for (int j = 0; j < kN; ++j) {
           Real* dst = &yr[std::size_t(nodes[j]) * ndof];
-          const Real* sM = &YM[off + std::size_t(j) * cols +
+          const Real* sM = &YM[off + std::size_t(j) * colsPad +
                                std::size_t(ei) * ndof];
-          const Real* sK = &YK[off + std::size_t(j) * cols +
+          const Real* sK = &YK[off + std::size_t(j) * colsPad +
                                std::size_t(ei) * ndof];
           for (int a = 0; a < ndof; ++a) {
             Real acc = 0;
@@ -395,45 +383,63 @@ void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
       }
     }
 
-    // Hanging elements: weighted gather, zip, per-dof GEMV against both
-    // cached reference operators, coefficient-block mixing, weighted
-    // scatter — serial, after every batch, in ascending element order.
-    std::vector<Real> uLoc(std::size_t(kN) * ndof),
-        rLoc(std::size_t(kN) * ndof);
-    std::vector<Real> zin(std::size_t(kN) * ndof),
-        zoM(std::size_t(kN) * ndof), zoK(std::size_t(kN) * ndof);
-    for (std::uint32_t e : plan.hangingElems) {
-      gatherElem(rm, e, x[r], ndof, uLoc.data());
-      const Real* AM = opsM[rm.elems[e].level];
-      const Real* AK = opsK[rm.elems[e].level];
-      zipVec(uLoc.data(), zin.data(), kN, ndof);
-      for (int d = 0; d < ndof; ++d) {
-        const Real* zi = &zin[std::size_t(d) * kN];
-        Real* zm = &zoM[std::size_t(d) * kN];
-        Real* zk = &zoK[std::size_t(d) * kN];
-        for (int i = 0; i < kN; ++i) {
-          Real accM = 0, accK = 0;
-          const Real* AMi = &AM[std::size_t(i) * kN];
-          const Real* AKi = &AK[std::size_t(i) * kN];
+    // Hanging elements — serial, after every batch, in ascending element
+    // order. As in matvecUniform, the weighted gather/scatter stays
+    // per-element while the two reference-operator applies are batched:
+    // same-level runs of hangingElems share one panel and two GEMMs
+    // (M and K) at the selected tier, then the per-element
+    // coefficient-block mixing reads the result panels directly.
+    if (const std::size_t nh = plan.hangingElems.size()) {
+      std::vector<Real> uLoc(std::size_t(kN) * ndof),
+          rLoc(std::size_t(kN) * ndof);
+      const std::size_t panelCap =
+          std::size_t(kN) * padCols(int(kMatvecBatch) * ndof);
+      PanelBuf xbuf, mbuf, kbuf;
+      Real* X = xbuf.ensure(panelCap);
+      Real* YMh = mbuf.ensure(panelCap);
+      Real* YKh = kbuf.ensure(panelCap);
+      std::size_t i = 0;
+      while (i < nh) {
+        const Level lvl = rm.elems[plan.hangingElems[i]].level;
+        std::size_t runEnd = i + 1;
+        while (runEnd < nh && runEnd - i < kMatvecBatch &&
+               rm.elems[plan.hangingElems[runEnd]].level == lvl)
+          ++runEnd;
+        const int m = static_cast<int>(runEnd - i);
+        const int cols = m * ndof;
+        const int colsPad = padCols(cols);
+        for (int ei = 0; ei < m; ++ei) {
+          gatherElem(rm, plan.hangingElems[i + ei], x[r], ndof, uLoc.data());
+          for (int j = 0; j < kN; ++j)
+            for (int d = 0; d < ndof; ++d)
+              X[std::size_t(j) * colsPad + std::size_t(ei) * ndof + d] =
+                  uLoc[std::size_t(j) * ndof + d];
+        }
+        for (int j = 0; j < kN; ++j)
+          for (int c = cols; c < colsPad; ++c)
+            X[std::size_t(j) * colsPad + c] = 0.0;
+        panelGemm(isa, opsM[lvl], kN, X, YMh, cols, colsPad);
+        panelGemm(isa, opsK[lvl], kN, X, YKh, cols, colsPad);
+        for (int ei = 0; ei < m; ++ei) {
+          const std::uint32_t e = plan.hangingElems[i + ei];
+          const Real* bM = &cM[r][std::size_t(e) * nd2];
+          const Real* bK = &cK[r][std::size_t(e) * nd2];
           for (int j = 0; j < kN; ++j) {
-            accM += AMi[j] * zi[j];
-            accK += AKi[j] * zi[j];
+            const Real* sM =
+                &YMh[std::size_t(j) * colsPad + std::size_t(ei) * ndof];
+            const Real* sK =
+                &YKh[std::size_t(j) * colsPad + std::size_t(ei) * ndof];
+            for (int a = 0; a < ndof; ++a) {
+              Real acc = 0;
+              for (int d = 0; d < ndof; ++d)
+                acc += bM[a * ndof + d] * sM[d] + bK[a * ndof + d] * sK[d];
+              rLoc[std::size_t(j) * ndof + a] = acc;
+            }
           }
-          zm[i] = accM;
-          zk[i] = accK;
+          scatterAddElem(rm, e, rLoc.data(), ndof, yr);
         }
+        i = runEnd;
       }
-      const Real* bM = &cM[r][std::size_t(e) * nd2];
-      const Real* bK = &cK[r][std::size_t(e) * nd2];
-      for (int i = 0; i < kN; ++i)
-        for (int a = 0; a < ndof; ++a) {
-          Real acc = 0;
-          for (int d = 0; d < ndof; ++d)
-            acc += bM[a * ndof + d] * zoM[std::size_t(d) * kN + i] +
-                   bK[a * ndof + d] * zoK[std::size_t(d) * kN + i];
-          rLoc[std::size_t(i) * ndof + a] = acc;
-        }
-      scatterAddElem(rm, e, rLoc.data(), ndof, yr);
     }
 
     mesh.comm().chargeWork(

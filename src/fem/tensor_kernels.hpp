@@ -1,0 +1,358 @@
+// Sum-factorized tensor-product element kernels for arbitrary polynomial
+// order p (DESIGN.md §8). A degree-p hex element has n = (p+1)^DIM nodes;
+// the dense elemental apply A_e u = B^T D B u costs O(n^2) = O(p^(2·DIM))
+// madds, but because the basis is a tensor product of 1D Lagrange bases the
+// same action factors into per-dimension 1D contractions costing
+// O(DIM^2 · p^(DIM+1)) — the classic sum-factorization trade (Deville/
+// Fischer/Mund; the matrix-free route of the source paper's framework).
+//
+// The crossover is honest, not assumed: at p = 1..2 in 3D the dense
+// batched panel GEMM (fem/simd.hpp) still wins — n is tiny, the factored
+// path touches each datum ~3·DIM times, and the panel GEMM runs at full
+// vector width — so the p-space engine (fem/pspace.hpp) uses dense batched
+// panels as its default and exposes the factored kernel as a measured
+// variant (fig4 bench). The asymptotics flip as p grows: at p = 3 in 3D the
+// dense apply is 4096 madds/elem vs ~1728 factored.
+//
+// Contents:
+//   Basis1D<P>             1D Lagrange basis (equispaced nodes i/P on
+//                          [0,1]) tabulated at Q = P+1 Gauss points
+//   tensorAssembleDense    quadrature assembly of the dense elemental
+//                          operator massCoef*M + stiffCoef*K (the p>=2
+//                          generalization of assembleGemmOperator; for
+//                          P = 1 it reproduces refMass/refStiffness
+//                          combinations exactly — same quadrature order,
+//                          same lexicographic == Morton node order)
+//   tensorApplyHelmholtz   sum-factorized action of the same operator on
+//                          one element's nodal values
+//
+// Node ordering inside an element is lexicographic with x fastest:
+// node (i0, i1, i2) -> i0 + (P+1)*i1 + (P+1)^2*i2. For P = 1 this equals
+// the Morton corner order used everywhere else (bit d of the corner index
+// is the coordinate along dimension d).
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/types.hpp"
+
+namespace pt::fem {
+
+namespace tensordetail {
+
+/// Gauss-Legendre rule with Q points mapped to [0, 1]. Q = P+1 integrates
+/// the degree-2P mass integrand exactly, matching Quadrature<DIM, 2> at
+/// P = 1.
+template <int Q>
+struct Gauss01 {
+  std::array<Real, Q> x{}, w{};
+  Gauss01() {
+    static_assert(Q >= 1 && Q <= 4, "gauss rule tabulated for Q = 1..4");
+    // Abscissae/weights on [-1, 1], then map x -> (1+x)/2, w -> w/2.
+    Real xr[Q], wr[Q];
+    if constexpr (Q == 1) {
+      xr[0] = 0.0;
+      wr[0] = 2.0;
+    } else if constexpr (Q == 2) {
+      const Real a = 1.0 / std::sqrt(Real(3));
+      xr[0] = -a; xr[1] = a;
+      wr[0] = wr[1] = 1.0;
+    } else if constexpr (Q == 3) {
+      const Real a = std::sqrt(Real(3) / 5);
+      xr[0] = -a; xr[1] = 0.0; xr[2] = a;
+      wr[0] = wr[2] = 5.0 / 9.0;
+      wr[1] = 8.0 / 9.0;
+    } else {
+      const Real a = std::sqrt(3.0 / 7.0 - 2.0 / 7.0 * std::sqrt(6.0 / 5.0));
+      const Real b = std::sqrt(3.0 / 7.0 + 2.0 / 7.0 * std::sqrt(6.0 / 5.0));
+      xr[0] = -b; xr[1] = -a; xr[2] = a; xr[3] = b;
+      const Real wa = (18.0 + std::sqrt(30.0)) / 36.0;
+      const Real wb = (18.0 - std::sqrt(30.0)) / 36.0;
+      wr[0] = wr[3] = wb;
+      wr[1] = wr[2] = wa;
+    }
+    for (int q = 0; q < Q; ++q) {
+      x[q] = 0.5 * (1.0 + xr[q]);
+      w[q] = 0.5 * wr[q];
+    }
+  }
+};
+
+}  // namespace tensordetail
+
+/// 1D Lagrange nodal basis of degree P (nodes at i/P on the reference
+/// interval [0,1]; P = 1 gives the hat functions behind shape()/
+/// shapeGrad()) tabulated at the Q = P+1 Gauss points.
+template <int P>
+struct Basis1D {
+  static constexpr int kP1 = P + 1;  ///< nodes per direction
+  static constexpr int kQ = P + 1;   ///< quadrature points per direction
+  std::array<Real, kQ> qx{}, qw{};        ///< Gauss points/weights on [0,1]
+  std::array<Real, kQ * kP1> N{}, dN{};   ///< N[q*kP1 + a] = N_a(qx[q])
+
+  Basis1D() {
+    tensordetail::Gauss01<kQ> g;
+    qx = g.x;
+    qw = g.w;
+    std::array<Real, kP1> nodes{};
+    for (int a = 0; a < kP1; ++a)
+      nodes[a] = P == 0 ? 0.5 : Real(a) / Real(P);
+    for (int q = 0; q < kQ; ++q)
+      for (int a = 0; a < kP1; ++a) {
+        Real val = 1.0, der = 0.0;
+        for (int c = 0; c < kP1; ++c) {
+          if (c == a) continue;
+          Real term = 1.0 / (nodes[a] - nodes[c]);
+          for (int b = 0; b < kP1; ++b) {
+            if (b == a || b == c) continue;
+            term *= (g.x[q] - nodes[b]) / (nodes[a] - nodes[b]);
+          }
+          der += term;
+          val *= (g.x[q] - nodes[c]) / (nodes[a] - nodes[c]);
+        }
+        N[q * kP1 + a] = val;
+        dN[q * kP1 + a] = der;
+      }
+  }
+};
+
+/// Shared tabulation (built once per (P), read-only afterwards).
+template <int P>
+const Basis1D<P>& basis1d() {
+  static const Basis1D<P> b;
+  return b;
+}
+
+/// Nodes per degree-P element in DIM dimensions.
+template <int DIM, int P>
+inline constexpr int kTensorNodes = []() {
+  int n = 1;
+  for (int d = 0; d < DIM; ++d) n *= P + 1;
+  return n;
+}();
+
+namespace tensordetail {
+
+/// Contracts dimension `dim` of the x-fastest tensor `in` (extents ext[d])
+/// with the nOut x ext[dim] matrix M, writing the tensor whose extent along
+/// `dim` becomes nOut: out[..., q, ...] = sum_a M[q*nIn + a] in[..., a, ...].
+template <int DIM>
+inline void contractDim(const Real* in, const int* ext, int dim,
+                        const Real* M, int nOut, Real* out) {
+  const int nIn = ext[dim];
+  int inner = 1, outer = 1;
+  for (int d = 0; d < dim; ++d) inner *= ext[d];
+  for (int d = dim + 1; d < DIM; ++d) outer *= ext[d];
+  for (int o = 0; o < outer; ++o)
+    for (int q = 0; q < nOut; ++q) {
+      Real* dst = &out[(std::size_t(o) * nOut + q) * inner];
+      const Real* Mq = &M[std::size_t(q) * nIn];
+      for (int i = 0; i < inner; ++i) {
+        Real acc = 0;
+        for (int a = 0; a < nIn; ++a)
+          acc += Mq[a] * in[(std::size_t(o) * nIn + a) * inner + i];
+        dst[i] = acc;
+      }
+    }
+}
+
+/// Same, accumulating into out (+=) — the transpose-side contractions of
+/// distinct quadrature channels add into one nodal result.
+template <int DIM>
+inline void contractDimAdd(const Real* in, const int* ext, int dim,
+                           const Real* M, int nOut, Real* out) {
+  const int nIn = ext[dim];
+  int inner = 1, outer = 1;
+  for (int d = 0; d < dim; ++d) inner *= ext[d];
+  for (int d = dim + 1; d < DIM; ++d) outer *= ext[d];
+  for (int o = 0; o < outer; ++o)
+    for (int q = 0; q < nOut; ++q) {
+      Real* dst = &out[(std::size_t(o) * nOut + q) * inner];
+      const Real* Mq = &M[std::size_t(q) * nIn];
+      for (int i = 0; i < inner; ++i) {
+        Real acc = 0;
+        for (int a = 0; a < nIn; ++a)
+          acc += Mq[a] * in[(std::size_t(o) * nIn + a) * inner + i];
+        dst[i] += acc;
+      }
+    }
+}
+
+/// M^T as an ext[dim]-row matrix applied along `dim` (used for the
+/// transpose-side contractions: rows index nodes, columns quad points).
+template <int P>
+struct Transposed {
+  std::array<Real, Basis1D<P>::kQ * Basis1D<P>::kP1> m{};
+  explicit Transposed(const std::array<Real, Basis1D<P>::kQ *
+                                                 Basis1D<P>::kP1>& src) {
+    constexpr int kP1 = Basis1D<P>::kP1, kQ = Basis1D<P>::kQ;
+    for (int q = 0; q < kQ; ++q)
+      for (int a = 0; a < kP1; ++a) m[a * kQ + q] = src[q * kP1 + a];
+  }
+};
+
+template <int P>
+const Transposed<P>& basisT() {
+  static const Transposed<P> t(basis1d<P>().N);
+  return t;
+}
+template <int P>
+const Transposed<P>& basisGradT() {
+  static const Transposed<P> t(basis1d<P>().dN);
+  return t;
+}
+
+}  // namespace tensordetail
+
+/// Dense elemental operator for a degree-P element of physical size h:
+///   A = massCoef * M_e + stiffCoef * K_e,   n x n row-major, n = (P+1)^DIM,
+/// assembled by full Gauss quadrature (Q = P+1 per direction). For P = 1
+/// this reproduces assembleGemmOperator's operator family on the same node
+/// order. A is overwritten.
+template <int DIM, int P>
+void tensorAssembleDense(Real h, Real massCoef, Real stiffCoef, Real* A) {
+  constexpr int kP1 = P + 1;
+  constexpr int kQ = P + 1;
+  constexpr int n = kTensorNodes<DIM, P>;
+  const Basis1D<P>& b1 = basis1d<P>();
+  Real jac = 1;
+  for (int d = 0; d < DIM; ++d) jac *= h;
+  const Real gscale = jac / (h * h);  // h^(DIM-2)
+  for (int i = 0; i < n * n; ++i) A[i] = 0.0;
+
+  // Per-node 1D factor indices: node a = sum_d idx[d] * kP1^d (x fastest).
+  int qidx[DIM], aidx[DIM], bidx[DIM];
+  const int nq = []() {
+    int m = 1;
+    for (int d = 0; d < DIM; ++d) m *= kQ;
+    return m;
+  }();
+  for (int q = 0; q < nq; ++q) {
+    {
+      int t = q;
+      for (int d = 0; d < DIM; ++d) { qidx[d] = t % kQ; t /= kQ; }
+    }
+    Real wq = 1;
+    for (int d = 0; d < DIM; ++d) wq *= b1.qw[qidx[d]];
+    for (int a = 0; a < n; ++a) {
+      {
+        int t = a;
+        for (int d = 0; d < DIM; ++d) { aidx[d] = t % kP1; t /= kP1; }
+      }
+      Real Na = 1;
+      Real dNa[DIM];
+      for (int d = 0; d < DIM; ++d) {
+        const Real nv = b1.N[qidx[d] * kP1 + aidx[d]];
+        Na *= nv;
+        dNa[d] = b1.dN[qidx[d] * kP1 + aidx[d]];
+        for (int e = 0; e < DIM; ++e)
+          if (e != d) dNa[d] *= b1.N[qidx[e] * kP1 + aidx[e]];
+      }
+      for (int bb = 0; bb < n; ++bb) {
+        {
+          int t = bb;
+          for (int d = 0; d < DIM; ++d) { bidx[d] = t % kP1; t /= kP1; }
+        }
+        Real Nb = 1;
+        Real grad = 0;
+        for (int d = 0; d < DIM; ++d) {
+          Real dNb = b1.dN[qidx[d] * kP1 + bidx[d]];
+          for (int e = 0; e < DIM; ++e)
+            if (e != d) dNb *= b1.N[qidx[e] * kP1 + bidx[e]];
+          grad += dNa[d] * dNb;
+          Nb *= b1.N[qidx[d] * kP1 + bidx[d]];
+        }
+        A[a * n + bb] +=
+            wq * (massCoef * jac * Na * Nb + stiffCoef * gscale * grad);
+      }
+    }
+  }
+}
+
+/// Sum-factorized action of (massCoef * M_e + stiffCoef * K_e) on one
+/// element's nodal values: out = A u without ever forming A, as 1D-operator
+/// contractions (forward-interpolate values and per-dimension gradients to
+/// the quadrature grid, weight pointwise, back-apply the transposes).
+/// Mathematically identical to the dense apply (same quadrature), equal to
+/// it only to roundoff (~1e-13 rel) since the summation order differs.
+/// `u` and `out` are kTensorNodes<DIM, P> values; out is overwritten.
+template <int DIM, int P>
+void tensorApplyHelmholtz(Real h, Real massCoef, Real stiffCoef,
+                          const Real* u, Real* out) {
+  constexpr int kP1 = P + 1;
+  constexpr int kQ = P + 1;
+  constexpr int n = kTensorNodes<DIM, P>;
+  constexpr int nq = []() {
+    int m = 1;
+    for (int d = 0; d < DIM; ++d) m *= kQ;
+    return m;
+  }();
+  // Scratch: a tensor never exceeds max(kP1, kQ)^DIM = nq entries.
+  constexpr int kScratch = nq > n ? nq : n;
+  const Basis1D<P>& b1 = basis1d<P>();
+  const Real* N = b1.N.data();
+  const Real* dN = b1.dN.data();
+  const Real* NT = tensordetail::basisT<P>().m.data();
+  const Real* dNT = tensordetail::basisGradT<P>().m.data();
+
+  Real jac = 1;
+  for (int d = 0; d < DIM; ++d) jac *= h;
+  const Real mscale = massCoef * jac;
+  const Real gscale = stiffCoef * jac / (h * h);
+
+  // Forward: chan[DIM] = value channel, chan[d] = d-gradient channel, all
+  // on the quadrature grid — each a chain of DIM 1D contractions.
+  Real chan[DIM + 1][kScratch];
+  Real tmpA[kScratch], tmpB[kScratch];
+  int ext[DIM];
+  // channel c uses dN along dimension c, N along the others (c = DIM: all N)
+  for (int c = 0; c <= DIM; ++c) {
+    const Real* cur = u;
+    Real* bufs[2] = {tmpA, tmpB};
+    for (int d = 0; d < DIM; ++d) ext[d] = kP1;
+    for (int d = 0; d < DIM; ++d) {
+      Real* dst = (d == DIM - 1) ? chan[c] : bufs[d & 1];
+      tensordetail::contractDim<DIM>(cur, ext, d, (c == d) ? dN : N, kQ, dst);
+      ext[d] = kQ;
+      cur = dst;
+    }
+  }
+
+  // Pointwise quadrature weights.
+  {
+    int qidx[DIM];
+    for (int q = 0; q < nq; ++q) {
+      int t = q;
+      Real wq = 1;
+      for (int d = 0; d < DIM; ++d) {
+        qidx[d] = t % kQ;
+        t /= kQ;
+        wq *= b1.qw[qidx[d]];
+      }
+      chan[DIM][q] *= wq * mscale;
+      for (int d = 0; d < DIM; ++d) chan[d][q] *= wq * gscale;
+    }
+  }
+
+  // Backward: transpose contractions per channel, accumulated into out.
+  for (int i = 0; i < n; ++i) out[i] = 0.0;
+  for (int c = 0; c <= DIM; ++c) {
+    const Real* cur = chan[c];
+    Real* bufs[2] = {tmpA, tmpB};
+    for (int d = 0; d < DIM; ++d) ext[d] = kQ;
+    for (int d = 0; d < DIM; ++d) {
+      const Real* M = (c == d) ? dNT : NT;
+      if (d == DIM - 1) {
+        tensordetail::contractDimAdd<DIM>(cur, ext, d, M, kP1, out);
+      } else {
+        tensordetail::contractDim<DIM>(cur, ext, d, M, kP1, bufs[d & 1]);
+        cur = bufs[d & 1];
+      }
+      ext[d] = kP1;
+    }
+  }
+}
+
+}  // namespace pt::fem

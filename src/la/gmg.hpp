@@ -133,7 +133,8 @@ GmgLevelOps<DIM> makeCoefBlockLevelOps(
     const Mesh<DIM>& mesh, int ndof,
     std::shared_ptr<const sim::PerRank<std::vector<Real>>> cM,
     std::shared_ptr<const sim::PerRank<std::vector<Real>>> cK,
-    std::shared_ptr<const sim::PerRank<std::vector<Real>>> cT = nullptr) {
+    std::shared_ptr<const sim::PerRank<std::vector<Real>>> cT = nullptr,
+    fem::SimdIsa isa = fem::simdIsa()) {
   GmgLevelOps<DIM> ops;
   ops.ndof = ndof;
   if (cT) {
@@ -187,8 +188,8 @@ GmgLevelOps<DIM> makeCoefBlockLevelOps(
           });
     };
   } else {
-    ops.op = [&mesh, ndof, cM, cK](const Field& x, Field& y) {
-      fem::matvecCoefBlocks<DIM>(mesh, x, y, ndof, *cM, *cK);
+    ops.op = [&mesh, ndof, cM, cK, isa](const Field& x, Field& y) {
+      fem::matvecCoefBlocks<DIM>(mesh, x, y, ndof, *cM, *cK, isa);
     };
   }
   const int nd2 = ndof * ndof;

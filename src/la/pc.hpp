@@ -40,9 +40,28 @@ Field assembleDiagonalBlocks(const Mesh<DIM>& mesh, int ndof,
   std::vector<Real> Ae(n * n);
   for (int r = 0; r < mesh.nRanks(); ++r) {
     const RankMesh<DIM>& rm = mesh.rank(r);
+    const ElemPlan& plan = rm.plan;
+    const bool havePlan = plan.isPure.size() == rm.nElems();
     for (std::size_t e = 0; e < rm.nElems(); ++e) {
       std::fill(Ae.begin(), Ae.end(), 0.0);
       elemMat(r, e, rm.elems[e], Ae.data());
+      // Pure elements (one support per corner, weight exactly 1): the
+      // support scan collapses to the plan's direct node indices and the
+      // w = 1 * 1 multiply drops out — bitwise identical to the general
+      // walk below, which this fast path replays with hi - lo == 1.
+      if (havePlan && plan.isPure[e]) {
+        const std::uint32_t* nodes =
+            &plan.pureNodes[std::size_t(plan.slot[e]) * kC];
+        for (int c1 = 0; c1 < kC; ++c1)
+          for (int c2 = 0; c2 < kC; ++c2) {
+            if (nodes[c1] != nodes[c2]) continue;
+            for (int d1 = 0; d1 < ndof; ++d1)
+              for (int d2 = 0; d2 < ndof; ++d2)
+                diag[r][nodes[c1] * ndof * ndof + d1 * ndof + d2] +=
+                    Ae[(c1 * ndof + d1) * n + (c2 * ndof + d2)];
+          }
+        continue;
+      }
       // diag contribution of node v from corners c1, c2 sharing support v:
       // sum over (c1,c2) pairs w1 * A_e[c1,c2] * w2.
       for (int c1 = 0; c1 < kC; ++c1) {

@@ -73,6 +73,13 @@ struct ElemPlan {
                                          ///< pureElems or hangingElems
   std::vector<std::uint32_t> pureElems;  ///< sorted by (level, elem index)
   std::vector<std::uint32_t> pureNodes;  ///< kCorners node ids per pure slot
+  /// Transposed (struct-of-arrays) copy of pureNodes, blocked per batch:
+  /// batch b's block starts at batches[b].begin * kCorners and holds
+  /// kCorners runs of m = end - begin indices, run j listing local corner j
+  /// of every element in the batch. This is the unit-stride gather order of
+  /// the SIMD panel kernels (fem/simd.hpp); pureNodes keeps the
+  /// element-major order the scatter and per-element paths use.
+  std::vector<std::uint32_t> pureNodesT;
   std::vector<std::uint32_t> hangingElems;  ///< ascending element index
   std::vector<ElemPlanBatch> batches;       ///< cover pureElems exactly
   std::vector<std::uint32_t> batchOf;       ///< per pure slot: batch index
@@ -307,6 +314,17 @@ void buildElemPlan(RankMesh<DIM>& rm) {
     plan.batches.push_back({static_cast<std::uint32_t>(i),
                             static_cast<std::uint32_t>(j), lvl});
     i = j;
+  }
+
+  // Per-batch transposed node map for the SIMD gather (see the field doc).
+  plan.pureNodesT.resize(plan.pureNodes.size());
+  for (const ElemPlanBatch& b : plan.batches) {
+    const std::size_t m = b.end - b.begin;
+    std::uint32_t* blockT = &plan.pureNodesT[std::size_t(b.begin) * kC];
+    const std::uint32_t* block = &plan.pureNodes[std::size_t(b.begin) * kC];
+    for (std::size_t ei = 0; ei < m; ++ei)
+      for (int c = 0; c < kC; ++c)
+        blockT[std::size_t(c) * m + ei] = block[ei * kC + c];
   }
 }
 

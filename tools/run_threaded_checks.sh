@@ -27,6 +27,15 @@
 #    more with the tracer live (PT_TRACE) while the full release-threads
 #    environment is active, with the emitted trace schema-checked by
 #    tools/trace_summary.py.
+# 7. The simd stage (DESIGN.md §8): the kernel-variant and high-order
+#    suites with the dispatch forced to the scalar tier (PT_SIMD=scalar —
+#    the pre-SIMD engine bitwise) and again with the widest detected tier,
+#    serial and with the pool at 4 threads, then under tsan at 4 threads
+#    (the vector tiers share read-only operator caches across partitions).
+# 8. The ubsan stage: the kernel-variant, high-order, and matvec-plan
+#    suites under UndefinedBehaviorSanitizer at release optimization —
+#    the intrinsics tiers, pointer alignment tricks, and padded-panel
+#    indexing run exactly as shipped.
 #
 # Usage: ./tools/run_threaded_checks.sh [extra ctest args]
 set -euo pipefail
@@ -76,5 +85,22 @@ echo "== obs: live tracer over the threaded CHNS suite (release-trace preset) ==
 rm -f build/tests/ctest_trace.json
 ctest --preset release-trace -R 'test_chns$' "$@"
 python3 tools/trace_summary.py build/tests/ctest_trace.json
+
+echo "== simd: kernel tiers forced scalar / vector, serial + threads=4, tsan =="
+# PT_SIMD=scalar pins the pre-SIMD bitwise baseline; the unset run uses the
+# widest tier the CPU supports (the tier tests compare every available tier
+# against scalar internally either way).
+PT_SIMD=scalar ctest --preset release -R 'test_(simd_kernels|highorder)$' "$@"
+PT_SIMD=scalar ctest --preset release-threads -R 'test_(simd_kernels|highorder)$' "$@"
+ctest --preset release -R 'test_(simd_kernels|highorder)$' "$@"
+ctest --preset release-threads -R 'test_(simd_kernels|highorder)$' "$@"
+cmake --build --preset tsan --target test_simd_kernels test_highorder -- -j"$(nproc)"
+ctest --preset tsan -R 'test_(simd_kernels|highorder)$' "$@"
+
+echo "== ubsan: simd/high-order/matvec suites at release optimization =="
+cmake --preset release-ubsan >/dev/null
+cmake --build --preset release-ubsan \
+  --target test_simd_kernels test_highorder test_matvec_plan -- -j"$(nproc)"
+ctest --preset release-ubsan -R 'test_(simd_kernels|highorder|matvec_plan)$' "$@"
 
 echo "threaded checks passed"
