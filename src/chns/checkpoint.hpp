@@ -13,9 +13,19 @@
 // files), prunes to the newest keep-N, and resumeFromLatestValid walks the
 // rotation newest-first, skipping anything corrupt — the recovery loop a
 // production campaign wraps around a killed job.
+//
+// Multi-tenancy (DESIGN.md §14): when many jobs checkpoint concurrently
+// (the scenario farm), each job must rotate in its *own* directory — the
+// fixed ck_<step>.bin names clobber across jobs sharing one directory.
+// Every save can additionally stamp a 64-bit scenario-spec hash into the
+// metadata section ("spec_hash"); resume paths that pass the expected hash
+// turn a cross-scenario resume (wrong directory, recycled job dir) into a
+// typed CheckpointError(kSpecMismatch) instead of silently continuing a
+// different physics run.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -75,9 +85,38 @@ io::CkStatus solverStateSchema(const io::Checkpoint<DIM>& ck) {
   return {};
 }
 
-/// Builds the solver's checkpoint in memory (fields + step counter).
+/// Scenario-spec hash stored in a checkpoint's metadata (0 = unstamped,
+/// e.g. a pre-farm single-tenant checkpoint).
 template <int DIM>
-io::Checkpoint<DIM> makeSolverCheckpoint(ChnsSolver<DIM>& solver) {
+std::uint64_t checkpointSpecHash(const io::Checkpoint<DIM>& ck) {
+  return static_cast<std::uint64_t>(ck.metaOr("spec_hash", 0));
+}
+
+/// Enforces the cross-scenario resume guard: with a nonzero expectation,
+/// the checkpoint must carry exactly that spec hash. An unstamped
+/// checkpoint does not satisfy a nonzero expectation — resuming a farm job
+/// from a rotation of unknown provenance is the same bug as resuming from
+/// another job's. expect == 0 disables the guard (single-tenant callers).
+template <int DIM>
+void requireSpecMatch(const io::Checkpoint<DIM>& ck, std::uint64_t expect) {
+  if (expect == 0) return;
+  const std::uint64_t got = checkpointSpecHash(ck);
+  if (got == expect) return;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%016llx, expected %016llx",
+                static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(expect));
+  throw io::CheckpointError(io::CkStatus::fail(
+      io::CkCode::kSpecMismatch,
+      std::string("checkpoint written by a different scenario: spec hash ") +
+          buf));
+}
+
+/// Builds the solver's checkpoint in memory (fields + step counter). A
+/// nonzero `specHash` stamps the scenario identity for requireSpecMatch.
+template <int DIM>
+io::Checkpoint<DIM> makeSolverCheckpoint(ChnsSolver<DIM>& solver,
+                                         std::uint64_t specHash = 0) {
   auto ck = io::makeCheckpoint<DIM>(
       solver.tree(), solver.mesh(),
       {{"phi", {&solver.phi(), 1}},
@@ -86,13 +125,16 @@ io::Checkpoint<DIM> makeSolverCheckpoint(ChnsSolver<DIM>& solver) {
        {"p", {&solver.pressure(), 1}}},
       {{"cn", &solver.elemCn()}});
   ck.meta.emplace_back("steps", solver.stepsTaken());
+  if (specHash != 0)
+    ck.meta.emplace_back("spec_hash", static_cast<std::int64_t>(specHash));
   return ck;
 }
 
 /// Writes the solver state atomically in format v2.
 template <int DIM>
-void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver) {
-  io::saveCheckpoint<DIM>(path, makeSolverCheckpoint(solver));
+void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver,
+                     std::uint64_t specHash = 0) {
+  io::saveCheckpoint<DIM>(path, makeSolverCheckpoint(solver, specHash));
 }
 
 /// Restores a solver from an already-loaded (and format-validated)
@@ -103,9 +145,11 @@ void saveSolverState(const std::string& path, ChnsSolver<DIM>& solver) {
 template <int DIM>
 ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm,
                                    const io::Checkpoint<DIM>& ck,
-                                   ChnsOptions<DIM> opt) {
+                                   ChnsOptions<DIM> opt,
+                                   std::uint64_t expectSpecHash = 0) {
   if (io::CkStatus st = solverStateSchema<DIM>(ck); !st.ok())
     throw io::CheckpointError(std::move(st));
+  requireSpecMatch<DIM>(ck, expectSpecHash);
   auto restored = io::restoreCheckpoint<DIM>(comm, ck, /*redistribute=*/true);
   ChnsSolver<DIM> solver(comm, std::move(restored.tree), std::move(opt));
   for (auto& [name, field] : restored.nodal) {
@@ -124,9 +168,10 @@ ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm,
 /// Restores a solver from `path` on `comm` (any rank count).
 template <int DIM>
 ChnsSolver<DIM> restoreSolverState(sim::SimComm& comm, const std::string& path,
-                                   ChnsOptions<DIM> opt) {
+                                   ChnsOptions<DIM> opt,
+                                   std::uint64_t expectSpecHash = 0) {
   auto ck = io::loadCheckpointFile<DIM>(path);
-  return restoreSolverState<DIM>(comm, ck, std::move(opt));
+  return restoreSolverState<DIM>(comm, ck, std::move(opt), expectSpecHash);
 }
 
 // ---------------------------------------------------------------------------
@@ -178,15 +223,19 @@ inline void pruneCheckpoints(const std::string& dir, int keep) {
 /// Installs the periodic auto-checkpoint driver: every `every` completed
 /// steps the solver writes dir/ck_<step>.bin (atomic v2) and prunes the
 /// rotation to the newest `keep` files. Replaces any previously installed
-/// post-step hook.
+/// post-step hook. `dir` must be private to this job (see the header
+/// comment); a nonzero `specHash` stamps every file for the cross-scenario
+/// resume guard.
 template <int DIM>
 void enableAutoCheckpoint(ChnsSolver<DIM>& solver, const std::string& dir,
-                          int every, int keep = 3) {
+                          int every, int keep = 3,
+                          std::uint64_t specHash = 0) {
   PT_CHECK(every >= 1 && keep >= 1);
   std::filesystem::create_directories(dir);
   solver.setPostStepHook(
-      [dir, keep](ChnsSolver<DIM>& s) {
-        saveSolverState(dir + "/" + checkpointFileName(s.stepsTaken()), s);
+      [dir, keep, specHash](ChnsSolver<DIM>& s) {
+        saveSolverState(dir + "/" + checkpointFileName(s.stepsTaken()), s,
+                        specHash);
         pruneCheckpoints(dir, keep);
       },
       every);
@@ -203,12 +252,17 @@ struct ResumeInfo {
 /// corrupt or schema-violating files (e.g. a file half-written when the job
 /// died, truncated by a full disk, or bit-rotted). Throws
 /// CheckpointError(kNoValidCheckpoint) when nothing in the rotation is
-/// restorable.
+/// restorable. A nonzero `expectSpecHash` arms the cross-scenario guard:
+/// the first structurally valid file must carry that hash, otherwise the
+/// whole rotation belongs to a different scenario and the resume fails
+/// with CheckpointError(kSpecMismatch) — deliberately not "skip and try an
+/// older file", since every file in a job directory shares one identity.
 template <int DIM>
 ChnsSolver<DIM> resumeFromLatestValid(sim::SimComm& comm,
                                       const std::string& dir,
                                       ChnsOptions<DIM> opt,
-                                      ResumeInfo* info = nullptr) {
+                                      ResumeInfo* info = nullptr,
+                                      std::uint64_t expectSpecHash = 0) {
   auto files = listCheckpoints(dir);
   int skipped = 0;
   for (auto it = files.rbegin(); it != files.rend(); ++it) {
@@ -218,12 +272,14 @@ ChnsSolver<DIM> resumeFromLatestValid(sim::SimComm& comm,
       ++skipped;
       continue;
     }
+    requireSpecMatch<DIM>(lr.ck, expectSpecHash);
     if (info) {
       info->path = it->second;
       info->step = it->first;
       info->skippedCorrupt = skipped;
     }
-    return restoreSolverState<DIM>(comm, lr.ck, std::move(opt));
+    return restoreSolverState<DIM>(comm, lr.ck, std::move(opt),
+                                   expectSpecHash);
   }
   throw io::CheckpointError(io::CkStatus::fail(
       io::CkCode::kNoValidCheckpoint,

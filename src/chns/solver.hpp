@@ -15,6 +15,21 @@
 //
 // All operators are applied matrix-free through the same gather/elemental/
 // scatter MATVEC that the scaling benches time.
+//
+// Multi-tenancy contract (DESIGN.md §14): a ChnsSolver instance owns ALL of
+// its mutable state — fields, pooled Krylov workspaces, frozen-coefficient
+// operator caches, the GMG hierarchy, remesh memoization, telemetry bundle
+// (tel_), timers, and the post-step hook. No function-local statics, no
+// environment reads after construction, no shared writable globals: any
+// number of solver instances may step concurrently (one per scenario-farm
+// job, each on its own SimComm) without synchronization between them. The
+// only process-global observability sinks a step touches are append-only
+// and thread-safe: the span tracer (spans carry the thread's
+// obs::currentJobTag() for per-job attribution) and, when compiled in, the
+// PT_MATVEC_TIMERS phase totals, which aggregate process-wide by design.
+// Nested parallelFor calls issued while inside a ThreadPool participant run
+// inline, so a solver stepped inside a farm job produces bitwise the same
+// history as the same scenario stepped on a serial pool.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,162 @@
+// Scenario specification for the multi-tenant farm (DESIGN.md §14).
+//
+// A ScenarioSpec is one point of a parameter-sweep campaign — the jet-
+// atomization style studies of the source paper swept over Cahn number,
+// density/viscosity ratio, and geometry (Saurabh et al., IPDPS 2023;
+// Khanwale et al., JCP 2021 for the semi-implicit CHNS stepping). The spec
+// is a plain value: everything a job needs to build its solver, and nothing
+// else, so two jobs with equal specs are the *same scenario* by definition.
+//
+// Two canonical hashes derive from a spec:
+//
+//  * specHash()      — scenario identity (physics + geometry + mesh config
+//    + ranks + seed + name). Stamped into every checkpoint the job writes;
+//    chns::resumeFromLatestValid refuses a rotation carrying a different
+//    hash with a typed CheckpointError(kSpecMismatch), which is what makes
+//    cross-scenario resume impossible rather than silently wrong. The
+//    campaign length (`steps`) is deliberately excluded so an operator can
+//    legitimately resume a job with an extended step budget.
+//  * initStateHash() — initial-state identity (specHash minus the name):
+//    the shared read-only cache key under which jobs with identical
+//    physics/mesh configuration share one adapted initial state
+//    (farm.hpp::InitStateCache) instead of re-running seed-tree build,
+//    local-Cahn identification, and initial remesh per job.
+//
+// Hashing is FNV-1a over the exact byte patterns of the fields (Real bits,
+// not formatted text), so the identity is bitwise — the same strictness the
+// equivalence tests use.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "apps/fields.hpp"
+#include "chns/solver.hpp"
+
+namespace pt::farm {
+
+/// One CHNS scenario: a light drop/bubble rising through a heavy liquid in
+/// [0,1]^2 (the rising-bubble configuration of examples/rising_bubble.cpp),
+/// parameterized over the sweep axes of a production campaign.
+struct ScenarioSpec {
+  std::string name = "job";  ///< human label; part of scenario identity
+
+  // Physics (nondimensional groups of the semi-implicit CHNS scheme).
+  Real Re = 35;
+  Real We = 10;
+  Real Pe = 100;
+  Real Cn = 0.03;
+  Real Fr = 0.4;
+  Real rhoMinus = 0.1;  ///< density ratio (phi = -1 phase)
+  Real etaMinus = 0.1;  ///< viscosity ratio
+  int gravityDir = 1;   ///< gravity along -y
+  Real dt = 2e-3;
+  int blocksPerStep = 2;
+
+  // Geometry: initial drop center/radius.
+  Real dropX = 0.5;
+  Real dropY = 0.3;
+  Real dropR = 0.15;
+
+  // Mesh configuration.
+  int seedLevel = 4;       ///< uniform seed tree refined to this level
+  int coarseLevel = 2;     ///< bulk coarsening target
+  int interfaceLevel = 4;  ///< interface-band refinement target
+  int remeshEvery = 4;     ///< timesteps between remesh+identify
+
+  // Campaign shape.
+  int steps = 6;           ///< timesteps the job must complete (not hashed)
+  int ranks = 2;           ///< simulated communicator size
+  std::uint64_t seed = 0;  ///< sweep-replica salt (hash-only, no physics)
+};
+
+namespace detail {
+
+inline void hashBytes(std::uint64_t& h, const void* p, std::size_t n) {
+  const unsigned char* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+}
+
+inline void hashReal(std::uint64_t& h, Real v) {
+  static_assert(sizeof(Real) == 8);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  hashBytes(h, &bits, sizeof bits);
+}
+
+inline void hashInt(std::uint64_t& h, std::int64_t v) {
+  hashBytes(h, &v, sizeof v);
+}
+
+}  // namespace detail
+
+/// Initial-state identity: every field that shapes the solver's state after
+/// build + initial remesh. The shared init-state cache key. Never 0 (0 is
+/// the "unstamped" sentinel of the checkpoint guard).
+inline std::uint64_t initStateHash(const ScenarioSpec& s) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (Real v : {s.Re, s.We, s.Pe, s.Cn, s.Fr, s.rhoMinus, s.etaMinus, s.dt,
+                 s.dropX, s.dropY, s.dropR})
+    detail::hashReal(h, v);
+  for (std::int64_t v :
+       {std::int64_t(s.gravityDir), std::int64_t(s.blocksPerStep),
+        std::int64_t(s.seedLevel), std::int64_t(s.coarseLevel),
+        std::int64_t(s.interfaceLevel), std::int64_t(s.remeshEvery),
+        std::int64_t(s.ranks), std::int64_t(s.seed)})
+    detail::hashInt(h, v);
+  return h | 1;
+}
+
+/// Scenario identity: initStateHash plus the job name. Stamped into every
+/// checkpoint; the cross-scenario resume guard. Never 0.
+inline std::uint64_t specHash(const ScenarioSpec& s) {
+  std::uint64_t h = initStateHash(s);
+  detail::hashBytes(h, s.name.data(), s.name.size());
+  detail::hashInt(h, std::int64_t(s.name.size()));
+  return h | 1;
+}
+
+/// Solver options for a spec. Pure function of the spec: two equal specs
+/// always produce bitwise-equal option blocks.
+inline chns::ChnsOptions<2> toOptions(const ScenarioSpec& s) {
+  chns::ChnsOptions<2> opt;
+  opt.params.Re = s.Re;
+  opt.params.We = s.We;
+  opt.params.Pe = s.Pe;
+  opt.params.Cn = s.Cn;
+  opt.params.Fr = s.Fr;
+  opt.params.rhoMinus = s.rhoMinus;
+  opt.params.etaMinus = s.etaMinus;
+  opt.params.gravityDir = s.gravityDir;
+  opt.dt = s.dt;
+  opt.blocksPerStep = s.blocksPerStep;
+  opt.remeshEvery = s.remeshEvery;
+  opt.coarseLevel = Level(s.coarseLevel);
+  opt.interfaceLevel = Level(s.interfaceLevel);
+  opt.featureLevel = Level(s.interfaceLevel);
+  opt.referenceLevel = Level(s.interfaceLevel);
+  opt.identify.cnCoarse = s.Cn;
+  opt.identify.cnFine = s.Cn / 2;
+  return opt;
+}
+
+/// Builds a fresh solver for the scenario: uniform seed tree, analytic
+/// initial condition, initial interface-adapted remesh. Deterministic —
+/// equal specs yield bitwise-equal solver states.
+inline chns::ChnsSolver<2> buildScenario(sim::SimComm& comm,
+                                         const ScenarioSpec& s) {
+  auto tree = DistTree<2>::fromGlobal(comm, uniformTree<2>(Level(s.seedLevel)));
+  chns::ChnsSolver<2> solver(comm, std::move(tree), toOptions(s));
+  const Real cx = s.dropX, cy = s.dropY, r = s.dropR, cn = s.Cn;
+  solver.setInitialCondition([cx, cy, r, cn](const VecN<2>& x) {
+    return apps::dropPhi<2>(x, VecN<2>{{cx, cy}}, r, cn);
+  });
+  solver.remeshNow();
+  return solver;
+}
+
+}  // namespace pt::farm

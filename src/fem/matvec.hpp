@@ -45,6 +45,13 @@ namespace pt::fem {
 // clock lives on each thread's stack (obs::PhaseLap), so the macros are
 // active for ANY pool size — threaded runs now record per-phase times too,
 // including from inside ThreadPool workers.
+//
+// Multi-tenancy caveat (DESIGN.md §14): this PhaseSet is a process-global
+// static, so under the scenario farm it aggregates the matvec phases of ALL
+// concurrent jobs into one set of numbers. Per-job attribution comes from
+// the job-tagged span tracer (obs::JobTagScope + trace_summary.py) and from
+// each solver's own per-instance telemetry; these phase totals stay
+// process-wide by design.
 #ifdef PT_MATVEC_TIMERS
 inline obs::PhaseSet& matvecPhases() {
   static obs::PhaseSet ps;

@@ -68,6 +68,7 @@ enum class CkCode {
   kUnknownField,         ///< an unrecognized named field is present
   kFieldShapeMismatch,   ///< a named field has the wrong ndof
   kNoValidCheckpoint,    ///< no restorable file found (resume driver)
+  kSpecMismatch,         ///< checkpoint belongs to a different scenario
 };
 
 inline const char* ckCodeName(CkCode c) {
@@ -87,6 +88,7 @@ inline const char* ckCodeName(CkCode c) {
     case CkCode::kUnknownField: return "unknown-field";
     case CkCode::kFieldShapeMismatch: return "field-shape-mismatch";
     case CkCode::kNoValidCheckpoint: return "no-valid-checkpoint";
+    case CkCode::kSpecMismatch: return "spec-mismatch";
   }
   return "unknown";
 }

@@ -21,6 +21,16 @@
 // clock and append to per-thread storage; no solver data flows through the
 // tracer (tests assert bitwise-identical solver histories with tracing on
 // vs off).
+//
+// Multi-tenancy (DESIGN.md §14): the tracer is a process-global singleton,
+// so concurrent scenario-farm jobs interleave their spans into the same
+// per-thread rings. Each span therefore carries a job tag — the value of
+// the thread-local currentJobTag() at open time, set via JobTagScope around
+// a job's execution (nested parallelFor work runs inline on the same
+// thread, so a job's entire span tree inherits its tag). The Chrome export
+// emits it as args.job and tools/trace_summary.py splits the span tables
+// per job. The rings, the dropped-event counter, and the interned-string
+// table remain global aggregates — they meter the process, not a job.
 #pragma once
 
 #include <algorithm>
@@ -44,6 +54,28 @@ struct TraceEvent {
   std::int64_t durNs;
   int tid;    ///< dense per-thread id (0 = first recording thread)
   int depth;  ///< nesting depth on its thread when opened
+  int job;    ///< currentJobTag() when opened (-1 = untagged)
+};
+
+/// Thread-local job tag stamped onto every span opened on this thread
+/// (-1 = untagged single-tenant execution). Set via JobTagScope.
+inline int& currentJobTag() {
+  thread_local int tag = -1;
+  return tag;
+}
+
+/// RAII job tag for the calling thread: spans (and per-job report rows)
+/// opened inside the scope belong to job `id`. Nests; restores on exit.
+struct JobTagScope {
+  explicit JobTagScope(int id) : prev_(currentJobTag()) {
+    currentJobTag() = id;
+  }
+  ~JobTagScope() { currentJobTag() = prev_; }
+  JobTagScope(const JobTagScope&) = delete;
+  JobTagScope& operator=(const JobTagScope&) = delete;
+
+ private:
+  int prev_;
 };
 
 class Tracer {
@@ -85,7 +117,7 @@ class Tracer {
     const std::size_t slot = tb->total % kRingCapacity;
     if (tb->ring.size() <= slot) tb->ring.resize(slot + 1);
     tb->ring[slot] = TraceEvent{name, startNs - epochNs_, endNs - startNs,
-                                tb->tid, depth};
+                                tb->tid, depth, currentJobTag()};
     ++tb->total;
   }
 
@@ -146,10 +178,16 @@ class Tracer {
                    "%s{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"name\": ",
                    first ? "" : ",\n", e.tid);
       writeJsonString(f, e.name);
-      std::fprintf(f,
-                   ", \"cat\": \"pt\", \"ts\": %.3f, \"dur\": %.3f, "
-                   "\"args\": {\"depth\": %d}}",
-                   e.startNs / 1e3, e.durNs / 1e3, e.depth);
+      if (e.job >= 0)
+        std::fprintf(f,
+                     ", \"cat\": \"pt\", \"ts\": %.3f, \"dur\": %.3f, "
+                     "\"args\": {\"depth\": %d, \"job\": %d}}",
+                     e.startNs / 1e3, e.durNs / 1e3, e.depth, e.job);
+      else
+        std::fprintf(f,
+                     ", \"cat\": \"pt\", \"ts\": %.3f, \"dur\": %.3f, "
+                     "\"args\": {\"depth\": %d}}",
+                     e.startNs / 1e3, e.durNs / 1e3, e.depth);
       first = false;
     }
     std::fprintf(f, "\n]}\n");

@@ -19,13 +19,26 @@
 //     deadlocking on the pool's own queue.
 //
 // Coordinator contract: parallelFor and setThreads share one job slot, so
-// they must only ever be called from a single coordinating thread at a time
-// (the pool is a fork-join primitive, not a task queue). Nested calls from
-// workers are fine (they run inline); concurrent calls from two distinct
-// non-worker threads are a contract violation, asserted in debug builds.
+// only one thread can act as the fork-join coordinator at a time. Nested
+// calls from workers run inline; a *concurrent* parallelFor from a second
+// non-worker thread (e.g. two scenario-farm jobs stepping at once) does a
+// try-acquire on the coordinator slot and, on losing, also runs inline —
+// the same deterministic serial semantics as a one-participant pool, never
+// a corrupted job slot (this used to be a debug-only assert and silent
+// release-mode corruption). setThreads blocks until the slot is free and
+// must not be called from inside a parallelFor callback or a task.
+//
+// Task-queue mode: TaskQueue (below) layers a work-stealing scheduler over
+// the fork-join primitive for heterogeneous, independent tasks — one deque
+// per participant, round-robin dealing, steal-from-the-back when a deque
+// runs dry, re-entrant submission from inside running tasks. Tasks execute
+// inside pool participants, so any parallelFor a task issues runs inline
+// (bitwise identical to a serial run of the same task).
 #pragma once
 
 #include <cstdlib>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <utility>
 
@@ -36,6 +49,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -56,11 +70,18 @@ class ThreadPool {
   /// Number of participants (>= 1). 1 means fully serial.
   int threads() const { return nThreads_; }
 
+  /// True on a pool worker thread (or inside a TaskQueue task, which runs
+  /// with the same inline-parallelFor semantics).
+  static bool inWorker() { return inWorker_; }
+
   /// Resizes the pool. n <= 1 tears all workers down (serial mode).
-  /// Coordinator-only: must not race with parallelFor or another
-  /// setThreads (see the header comment).
+  /// Blocks until any in-flight parallelFor or TaskQueue drain finishes;
+  /// must not be called from inside a parallelFor callback or a task
+  /// (self-deadlock on the coordinator slot).
   void setThreads(int n) {
-    CoordinatorGuard guard(*this);
+    while (coordinating_.exchange(true, std::memory_order_acquire))
+      std::this_thread::yield();
+    CoordinatorRelease release(*this);
     if (n < 1) n = 1;
     if (n == nThreads_) return;
     stopWorkers();
@@ -73,8 +94,9 @@ class ThreadPool {
   /// Runs fn(part, begin, end) over a static partition of [0, n) into
   /// threads() contiguous parts (empty parts are skipped). Part 0 runs on
   /// the calling thread; parts 1.. run on the workers. Blocks until all
-  /// parts finish. Nested calls (from inside a worker) run serially inline.
-  /// Coordinator-only from non-worker threads (see the header comment).
+  /// parts finish. Nested calls (from inside a worker), and calls that find
+  /// the coordinator slot already held by another thread, run serially
+  /// inline — bitwise identical to a one-participant pool.
   ///
   /// If any part throws, the remaining parts still run to completion, and
   /// the first exception (part 0's, if it also threw) is rethrown here
@@ -87,7 +109,17 @@ class ThreadPool {
       fn(0, std::size_t{0}, n);
       return;
     }
-    CoordinatorGuard guard(*this);
+    // Concurrent-coordinator fallback: the job slot is a single fork-join
+    // channel. If another thread owns it right now (a second non-worker
+    // thread mid-parallelFor, or this thread's own TaskQueue drain with a
+    // task calling back in), run inline instead of corrupting the slot.
+    bool expected = false;
+    if (!coordinating_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire)) {
+      fn(0, std::size_t{0}, n);
+      return;
+    }
+    CoordinatorRelease release(*this);
     // The job slot is a raw trampoline + context pointer, not a
     // std::function: vector-space kernels issue a parallelFor per axpy/dot,
     // and a std::function capture of (fn, n, parts) exceeds the small-buffer
@@ -215,25 +247,16 @@ class ThreadPool {
     }
   }
 
-  // Debug-mode enforcement of the single-coordinator contract: entering
-  // parallelFor (parallel branch) or setThreads while another non-worker
-  // thread is inside either is a bug in the caller.
-  struct CoordinatorGuard {
-#ifndef NDEBUG
-    explicit CoordinatorGuard(ThreadPool& p) : pool(p) {
-      const bool wasBusy = pool.coordinating_.exchange(true);
-      assert(!wasBusy &&
-             "ThreadPool: parallelFor/setThreads called concurrently from "
-             "two threads — the pool requires a single coordinator");
-      (void)wasBusy;
+  // Releases the (already acquired) coordinator slot at scope exit, after
+  // the join barrier and before any rethrow.
+  struct CoordinatorRelease {
+    explicit CoordinatorRelease(ThreadPool& p) : pool(p) {}
+    ~CoordinatorRelease() {
+      pool.coordinating_.store(false, std::memory_order_release);
     }
-    ~CoordinatorGuard() { pool.coordinating_.store(false); }
+    CoordinatorRelease(const CoordinatorRelease&) = delete;
+    CoordinatorRelease& operator=(const CoordinatorRelease&) = delete;
     ThreadPool& pool;
-#else
-    explicit CoordinatorGuard(ThreadPool&) {}
-#endif
-    CoordinatorGuard(const CoordinatorGuard&) = delete;
-    CoordinatorGuard& operator=(const CoordinatorGuard&) = delete;
   };
 
   int nThreads_ = 1;
@@ -245,13 +268,140 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   int pendingParts_ = 0;
   bool stop_ = false;
-#ifndef NDEBUG
+  /// The fork-join coordinator slot (see the header comment).
   std::atomic<bool> coordinating_{false};
-#endif
   static thread_local bool inWorker_;
+
+  friend class TaskQueue;
 };
 
 inline thread_local bool ThreadPool::inWorker_ = false;
+
+/// Work-stealing task scheduler layered over the fork-join pool (the
+/// "task-queue mode" of the header comment). Usage:
+///
+///   TaskQueue q(ThreadPool::instance());
+///   q.submit([...]{ ... });   // any number of independent tasks
+///   q.run();                  // drains everything, caller participates
+///
+/// run() opens one drain loop per pool participant through parallelFor.
+/// Pre-run submissions are dealt round-robin to one deque per participant;
+/// each participant pops its own deque front-first and, when dry, steals
+/// from the back of sibling deques (classic owner-front/thief-back
+/// splitting, so early-submitted long tasks migrate to idle participants).
+/// Tasks may submit() more tasks while running — those land on the
+/// submitting participant's own deque and are drained in the same pass.
+///
+/// Determinism: tasks execute inside pool participants, so any parallelFor
+/// a task issues runs inline — each task's internal result is bitwise
+/// independent of which participant runs it or of the stealing order.
+/// Tasks must be independent of each other (no ordering is guaranteed).
+/// A task that throws has its exception captured; run() rethrows the first
+/// one after the queue is fully drained (remaining tasks still run).
+class TaskQueue {
+ public:
+  explicit TaskQueue(ThreadPool& pool) : pool_(pool) {}
+
+  /// Enqueues one task. Thread-safe against concurrent submits from
+  /// running tasks; not against a concurrent run() from another thread.
+  void submit(std::function<void()> task) {
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    const int self = currentPart();
+    if (self >= 0 && queues_) {  // re-entrant: called from inside a task
+      std::lock_guard<std::mutex> lock(queues_[self].mu);
+      queues_[self].q.push_back(std::move(task));
+      return;
+    }
+    std::lock_guard<std::mutex> lock(seedMu_);
+    seed_.push_back(std::move(task));
+  }
+
+  /// Runs every submitted task to completion. The caller is participant 0;
+  /// if the pool's coordinator slot is busy (or the pool is serial) the
+  /// whole queue drains inline on the calling thread.
+  void run() {
+    const int parts = pool_.threads() < 1 ? 1 : pool_.threads();
+    nQueues_ = parts;
+    queues_ = std::make_unique<PartQueue[]>(parts);
+    {
+      std::lock_guard<std::mutex> lock(seedMu_);
+      int next = 0;
+      for (auto& t : seed_)
+        queues_[next++ % parts].q.push_back(std::move(t));
+      seed_.clear();
+    }
+    pool_.parallelFor(std::size_t(parts),
+                      [this](int, std::size_t b, std::size_t e) {
+                        for (std::size_t p = b; p < e; ++p) drain(int(p));
+                      });
+    queues_.reset();
+    nQueues_ = 0;
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(seedMu_);
+      err = firstErr_;
+      firstErr_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  struct PartQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> q;
+  };
+
+  /// Index of the TaskQueue participant draining on this thread (-1 when
+  /// not inside a drain loop) — routes re-entrant submits.
+  static int& currentPart() {
+    thread_local int part = -1;
+    return part;
+  }
+
+  void drain(int self) {
+    const int prev = currentPart();
+    currentPart() = self;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(queues_[self].mu);
+        if (!queues_[self].q.empty()) {
+          task = std::move(queues_[self].q.front());
+          queues_[self].q.pop_front();
+        }
+      }
+      for (int k = 1; !task && k < nQueues_; ++k) {
+        PartQueue& victim = queues_[(self + k) % nQueues_];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (!victim.q.empty()) {
+          task = std::move(victim.q.back());
+          victim.q.pop_back();
+        }
+      }
+      if (task) {
+        try {
+          task();
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(seedMu_);
+          if (!firstErr_) firstErr_ = std::current_exception();
+        }
+        outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (outstanding_.load(std::memory_order_acquire) == 0) break;
+      std::this_thread::yield();
+    }
+    currentPart() = prev;
+  }
+
+  ThreadPool& pool_;
+  std::mutex seedMu_;                        ///< guards seed_ and firstErr_
+  std::vector<std::function<void()>> seed_;  ///< submits before run()
+  std::unique_ptr<PartQueue[]> queues_;      ///< live only during run()
+  int nQueues_ = 0;
+  std::atomic<long> outstanding_{0};
+  std::exception_ptr firstErr_;
+};
 
 #else  // !PT_THREADS — serial stub with the same interface.
 
@@ -263,6 +413,7 @@ class ThreadPool {
   }
   int threads() const { return 1; }
   void setThreads(int) {}
+  static bool inWorker() { return false; }
 
   template <typename F>
   void parallelFor(std::size_t n, F&& fn) {
@@ -275,6 +426,34 @@ class ThreadPool {
     const std::size_t e = n * (part + 1) / parts;
     return {b, e};
   }
+};
+
+/// Serial task queue with the threaded interface: run() drains FIFO on the
+/// calling thread; tasks may submit further tasks mid-drain.
+class TaskQueue {
+ public:
+  explicit TaskQueue(ThreadPool&) {}
+  void submit(std::function<void()> task) { q_.push_back(std::move(task)); }
+  void run() {
+    while (!q_.empty()) {
+      std::function<void()> task = std::move(q_.front());
+      q_.pop_front();
+      try {
+        task();
+      } catch (...) {
+        if (!firstErr_) firstErr_ = std::current_exception();
+      }
+    }
+    if (firstErr_) {
+      std::exception_ptr err = firstErr_;
+      firstErr_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  std::deque<std::function<void()>> q_;
+  std::exception_ptr firstErr_;
 };
 
 #endif  // PT_THREADS

@@ -36,6 +36,12 @@
 #    suites under UndefinedBehaviorSanitizer at release optimization —
 #    the intrinsics tiers, pointer alignment tricks, and padded-panel
 #    indexing run exactly as shipped.
+# 9. The farm stage (DESIGN.md §14): the scenario-farm suite serial, with
+#    the pool at 4 threads (concurrent jobs, racing init-state cache,
+#    work-stealing task queue), under tsan at 4 threads (the shared
+#    read-only cache and job bookkeeping race the pool there), and with
+#    PT_VALIDATE=1 (every job's remeshes and restores run the invariant
+#    validator).
 #
 # Usage: ./tools/run_threaded_checks.sh [extra ctest args]
 set -euo pipefail
@@ -102,5 +108,12 @@ cmake --preset release-ubsan >/dev/null
 cmake --build --preset release-ubsan \
   --target test_simd_kernels test_highorder test_matvec_plan -- -j"$(nproc)"
 ctest --preset release-ubsan -R 'test_(simd_kernels|highorder|matvec_plan)$' "$@"
+
+echo "== farm: scenario-farm suite (serial, threads=4, tsan, PT_VALIDATE=1) =="
+ctest --preset release -R 'test_farm$' "$@"
+ctest --preset release-threads -R 'test_farm$' "$@"
+cmake --build --preset tsan --target test_farm -- -j"$(nproc)"
+ctest --preset tsan -R 'test_farm$' "$@"
+PT_VALIDATE=1 ctest --preset release -R 'test_farm$' "$@"
 
 echo "threaded checks passed"

@@ -45,6 +45,7 @@ def check_chrome_trace(doc):
     events = doc["traceEvents"]
     _require(isinstance(events, list), "trace: 'traceEvents' must be a list")
     spans = {}  # name -> [count, total_us, set(tids)]
+    jobs = {}   # job id -> {name -> [count, total_us]}  (args.job tagging)
     tid_names = {}
     for i, ev in enumerate(events):
         _require(isinstance(ev, dict), f"trace: event {i} is not an object")
@@ -69,15 +70,31 @@ def check_chrome_trace(doc):
             s[0] += 1
             s[1] += ev["dur"]
             s[2].add(ev["tid"])
+            job = ev.get("args", {}).get("job")
+            if job is not None:
+                _require(isinstance(job, int) and job >= 0,
+                         f"trace: event {i} args.job must be a non-negative "
+                         "integer")
+                j = jobs.setdefault(job, {}).setdefault(ev["name"], [0, 0.0])
+                j[0] += 1
+                j[1] += ev["dur"]
         else:
             raise Malformed(f"trace: event {i} has unsupported ph {ph!r}")
     print(f"Chrome trace: {len(events)} events, "
-          f"{len(tid_names)} named threads, {len(spans)} distinct spans")
+          f"{len(tid_names)} named threads, {len(spans)} distinct spans"
+          + (f", {len(jobs)} tagged jobs" if jobs else ""))
     if spans:
         print(f"  {'span':<24} {'count':>8} {'total ms':>12} {'threads':>8}")
         for name in sorted(spans, key=lambda n: -spans[n][1]):
             count, us, tids = spans[name]
             print(f"  {name:<24} {count:>8} {us / 1e3:>12.3f} {len(tids):>8}")
+    for job in sorted(jobs):
+        per = jobs[job]
+        print(f"  job {job}: {sum(c for c, _ in per.values())} spans")
+        print(f"    {'span':<24} {'count':>8} {'total ms':>12}")
+        for name in sorted(per, key=lambda n: -per[n][1]):
+            count, us = per[name]
+            print(f"    {name:<24} {count:>8} {us / 1e3:>12.3f}")
     return True
 
 
