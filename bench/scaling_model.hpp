@@ -92,6 +92,91 @@ inline double modelMatvecTime(double nElems, double p, const sim::Machine& m,
   return std::max(compute, commBeta) + commAlpha;
 }
 
+/// Fraction of a cubic `local`-element partition lying on the partition
+/// boundary: ~6 faces of local^(2/3) elements each. This is the share of
+/// the elemental loop that must complete before the accumulate exchange
+/// can be posted in the split-phase MATVEC (DESIGN.md §15); the remaining
+/// interior fraction runs while the exchange is in flight.
+inline double boundaryElemFraction(double local) {
+  if (local <= 1.0) return 1.0;
+  return std::min(1.0, 6.0 * std::pow(local, 2.0 / 3.0) / local);
+}
+
+/// One evaluated point of the blocking-vs-overlap MATVEC model — every
+/// term the fig4a bench reports per (nElems, p) sweep point.
+struct MatvecModelPoint {
+  double local = 0;         ///< elements per rank
+  double boundaryFrac = 0;  ///< boundary share of the elemental loop
+  double compute = 0;       ///< elemental loop, imbalance included [s]
+  double commAlpha = 0;     ///< exposed message+reduction latency [s]
+  double commBeta = 0;      ///< ghost-layer bandwidth term [s]
+  double blocking = 0;      ///< compute + alpha + beta (no overlap) [s]
+  double overlap = 0;       ///< split-phase schedule (DESIGN.md §15) [s]
+};
+
+/// Evaluates both charge schedules of one distributed MATVEC on `p` ranks.
+///
+/// Blocking mirrors the historical SimComm charges: the whole elemental
+/// loop, then the full exchange cost serially.  Overlap mirrors the
+/// split-phase engine: the boundary share of the loop runs first, the
+/// accumulate epoch is posted, and the interior share is charged while it
+/// is in flight — the exchange (latency and bandwidth) only costs what
+/// the interior compute cannot hide. Unlike the legacy modelMatvecTime,
+/// no fractional latency-coalescing credit is applied here: the overlap
+/// credit is modeled explicitly, not as a fudge factor.
+inline MatvecModelPoint modelMatvecPoint(double nElems, double p,
+                                         const sim::Machine& m,
+                                         double perElemSec) {
+  MatvecModelPoint pt;
+  pt.local = nElems / p;
+  pt.boundaryFrac = boundaryElemFraction(pt.local);
+  const double imbalance = 1.0 + 0.010 * sim::ceilLog2(long(p));
+  pt.compute = pt.local * perElemSec * imbalance;
+  const double ghostBytes = 6.0 * std::pow(pt.local, 2.0 / 3.0) * 8.0;
+  pt.commBeta = 2.0 * m.beta * ghostBytes;
+  pt.commAlpha =
+      m.alpha * (std::min(26.0, p - 1) + 2.0 * sim::ceilLog2(long(p)));
+  pt.blocking = pt.compute + pt.commBeta + pt.commAlpha;
+  const double boundary = pt.compute * pt.boundaryFrac;
+  const double interior = pt.compute - boundary;
+  pt.overlap =
+      boundary + std::max(interior, pt.commAlpha + pt.commBeta);
+  return pt;
+}
+
+/// Blocking-schedule MATVEC time: comm charged serially after compute.
+inline double modelMatvecTimeBlocking(double nElems, double p,
+                                      const sim::Machine& m,
+                                      double perElemSec) {
+  return modelMatvecPoint(nElems, p, m, perElemSec).blocking;
+}
+
+/// Split-phase MATVEC time: interior compute hides the in-flight exchange.
+inline double modelMatvecTimeOverlap(double nElems, double p,
+                                     const sim::Machine& m,
+                                     double perElemSec) {
+  return modelMatvecPoint(nElems, p, m, perElemSec).overlap;
+}
+
+/// Which MATVEC charge schedule the application model composes over.
+enum class CommModel {
+  kLegacy,    ///< historical modelMatvecTime (implicit-overlap fudge)
+  kBlocking,  ///< explicit blocking schedule
+  kOverlap,   ///< explicit split-phase schedule
+};
+
+inline double modelMatvecTimeFor(CommModel cm, double nElems, double p,
+                                 const sim::Machine& m, double perElemSec) {
+  switch (cm) {
+    case CommModel::kBlocking:
+      return modelMatvecTimeBlocking(nElems, p, m, perElemSec);
+    case CommModel::kOverlap:
+      return modelMatvecTimeOverlap(nElems, p, m, perElemSec);
+    default:
+      return modelMatvecTime(nElems, p, m, perElemSec);
+  }
+}
+
 /// Per-solver cost description for the Fig 5 application model.
 struct SolverModel {
   const char* name;
@@ -111,10 +196,11 @@ struct SolverModel {
 /// Modeled time of `steps` timesteps of one solver phase on p ranks.
 inline double modelSolverTime(const SolverModel& s, double nElems, double p,
                               const sim::Machine& m, double perElemSec,
-                              int steps, double pRef = 14336.0) {
+                              int steps, double pRef = 14336.0,
+                              CommModel cm = CommModel::kLegacy) {
   const double local = nElems / p;
   const double perIter =
-      modelMatvecTime(nElems, p, m, perElemSec * s.dofs) +
+      modelMatvecTimeFor(cm, nElems, p, m, perElemSec * s.dofs) +
       s.reducesPerIter * 2.0 * m.alpha * sim::ceilLog2(long(p));
   const double setup = local * perElemSec * s.setupPerStep;
   // Amdahl correction relative to the reference process count.

@@ -97,6 +97,15 @@ struct ChnsOptions {
   /// the historical path; off = the measured fig8 bench baseline.
   bool remeshFastPath = true;
 
+  /// Communication-computation overlap (DESIGN.md §15): split-phase ghost
+  /// and accumulate epochs in the MATVEC engines (interior panels run while
+  /// the boundary accumulate is in flight) and the async multi-field
+  /// remesh-transfer epoch. Purely a virtual-clock charge change — every
+  /// produced value, solver history, and collective count is bitwise
+  /// identical to the blocking path; off = the historical blocking charges
+  /// (the fig4a baseline series).
+  bool commOverlap = true;
+
   /// GMG-preconditioned CH/NS/PP solves: matrix-free V-cycles whose level
   /// operators are frozen-coefficient mass/stiffness blocks routed through
   /// the batched panel-GEMM engine. The coarsened-tree hierarchy is a pure
@@ -154,6 +163,7 @@ class ChnsSolver {
   ChnsSolver(sim::SimComm& comm, DistTree<DIM> tree, ChnsOptions<DIM> opt)
       : comm_(&comm), opt_(std::move(opt)), tree_(std::move(tree)) {
     tel_->ranks.attach(comm_);
+    comm_->setOverlapEnabled(opt_.commOverlap);
     rebuildMesh();
   }
 
@@ -232,6 +242,9 @@ class ChnsSolver {
   /// remesh + identify + transfer at the configured cadence.
   void step() {
     PT_SPAN("step");
+    // Route engine phase timers into this solver's telemetry so concurrent
+    // solvers (e.g. farm jobs) keep separable matvec breakdowns.
+    fem::MatvecPhaseScope mvphases(timers_);
     for (int b = 0; b < opt_.blocksPerStep; ++b)
       block(opt_.dt / opt_.blocksPerStep);
     ++steps_;
@@ -242,6 +255,7 @@ class ChnsSolver {
   /// Runs the local-Cahn identifier, remeshes to the indicated levels, and
   /// transfers all fields to the new mesh.
   void remeshNow() {
+    fem::MatvecPhaseScope mvphases(timers_);
     obs::TimedSpan st(timers_, "remesh");
     typename obs::RankPhases<sim::SimComm>::Scope rs(tel_->ranks, "remesh");
     sim::PerRank<std::vector<Level>> want;
@@ -351,10 +365,20 @@ class ChnsSolver {
                               : intergrid::TransferTables<DIM>{};
       const intergrid::TransferTables<DIM>* tp =
           opt_.remeshFastPath ? &tables : nullptr;
-      phiN = intergrid::transferNodal(*mesh_, phi_, *newMesh, 1, tp);
-      muN = intergrid::transferNodal(*mesh_, mu_, *newMesh, 1, tp);
-      velN = intergrid::transferNodal(*mesh_, vel_, *newMesh, DIM, tp);
-      pN = intergrid::transferNodal(*mesh_, p_, *newMesh, 1, tp);
+      // The four nodal fields go through one async epoch: all query
+      // exchanges posted up front, answers pipelined against in-flight
+      // replies (falls back to sequential blocking calls when overlap is
+      // off — same exchanges, values, and collective counts either way).
+      // The cell transfer stays sequential: its second round is
+      // data-dependent on the first round's coverage results.
+      std::vector<Field> nodal = intergrid::transferNodalMany<DIM>(
+          *mesh_,
+          {{&phi_, 1}, {&mu_, 1}, {&vel_, DIM}, {&p_, 1}},
+          *newMesh, tp);
+      phiN = std::move(nodal[0]);
+      muN = std::move(nodal[1]);
+      velN = std::move(nodal[2]);
+      pN = std::move(nodal[3]);
       cnN = intergrid::transferCell(tree_, elemCn_, newTree, tp);
     }
     tree_ = std::move(newTree);

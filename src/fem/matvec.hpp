@@ -39,34 +39,76 @@ namespace pt::fem {
 
 // ---- Per-phase instrumentation (compile-time opt-in) -----------------------
 // With PT_MATVEC_TIMERS defined, the engine accumulates wall-clock per phase
-// (gather / kernel / scatter / accumulate) into this obs::PhaseSet. The old
+// (gather / kernel / scatter / accumulate) into an obs::PhaseSet. The old
 // TimerSet-based version had to runtime-gate to serial pools because timers
 // carried shared start/stop state; Phase accumulators are atomic and the lap
 // clock lives on each thread's stack (obs::PhaseLap), so the macros are
-// active for ANY pool size — threaded runs now record per-phase times too,
+// active for ANY pool size — threaded runs record per-phase times too,
 // including from inside ThreadPool workers.
 //
-// Multi-tenancy caveat (DESIGN.md §14): this PhaseSet is a process-global
-// static, so under the scenario farm it aggregates the matvec phases of ALL
-// concurrent jobs into one set of numbers. Per-job attribution comes from
-// the job-tagged span tracer (obs::JobTagScope + trace_summary.py) and from
-// each solver's own per-instance telemetry; these phase totals stay
-// process-wide by design.
+// Multi-tenancy (DESIGN.md §14): callers that own an obs::Telemetry (the
+// CHNS solver, one per farm job) install their PhaseSet with a
+// MatvecPhaseScope; every engine entered on that thread then times into the
+// job's own telemetry. The engine resolves the sink ONCE at entry on the
+// coordinating thread (pool workers carry no scope of their own) and hands
+// the resolved set to its workers, so a scope installed around a threaded
+// matvec attributes every phase lap correctly. The process-global static
+// remains the legacy fallback for scopeless callers (benches, tests).
 #ifdef PT_MATVEC_TIMERS
 inline obs::PhaseSet& matvecPhases() {
   static obs::PhaseSet ps;
   return ps;
 }
-#define PT_MV_TIMER(var, name)                                \
-  ::pt::obs::Phase* var = &::pt::fem::matvecPhases()[name];   \
+namespace phasedetail {
+inline obs::PhaseSet*& sinkSlot() {
+  thread_local obs::PhaseSet* sink = nullptr;
+  return sink;
+}
+}  // namespace phasedetail
+/// The PhaseSet the next engine entered on this thread will time into:
+/// the innermost installed MatvecPhaseScope, else the legacy static.
+inline obs::PhaseSet* activeMatvecPhases() {
+  obs::PhaseSet* s = phasedetail::sinkSlot();
+  return s ? s : &matvecPhases();
+}
+#define PT_MV_PHASES(var) \
+  ::pt::obs::PhaseSet* var = ::pt::fem::activeMatvecPhases()
+#define PT_MV_TIMER(ps, var, name)         \
+  ::pt::obs::Phase* var = &(*(ps))[name];  \
   ::pt::obs::PhaseLap var##Lap
 #define PT_MV_START(var) (var##Lap.begin())
 #define PT_MV_STOP(var) (var##Lap.end(var))
 #else
-#define PT_MV_TIMER(var, name) ((void)0)
+#define PT_MV_PHASES(var) ::pt::obs::PhaseSet* var = nullptr
+#define PT_MV_TIMER(ps, var, name) ((void)(ps))
 #define PT_MV_START(var) ((void)0)
 #define PT_MV_STOP(var) ((void)0)
 #endif
+
+/// RAII redirection of matvec phase timing into a caller-owned PhaseSet
+/// (nests; restores the previous sink on destruction). No-op without
+/// PT_MATVEC_TIMERS. Install on the thread that CALLS the engines; the
+/// scope is thread-local, so concurrent farm jobs don't cross-attribute.
+class MatvecPhaseScope {
+ public:
+#ifdef PT_MATVEC_TIMERS
+  explicit MatvecPhaseScope(obs::PhaseSet& sink)
+      : prev_(phasedetail::sinkSlot()) {
+    phasedetail::sinkSlot() = &sink;
+  }
+  ~MatvecPhaseScope() { phasedetail::sinkSlot() = prev_; }
+#else
+  explicit MatvecPhaseScope(obs::PhaseSet& sink) { (void)sink; }
+  ~MatvecPhaseScope() = default;
+#endif
+  MatvecPhaseScope(const MatvecPhaseScope&) = delete;
+  MatvecPhaseScope& operator=(const MatvecPhaseScope&) = delete;
+
+ private:
+#ifdef PT_MATVEC_TIMERS
+  obs::PhaseSet* prev_;
+#endif
+};
 
 /// Gathers the 2^DIM * ndof corner values of element `e` from a consistent
 /// field, applying hanging-node interpolation weights. Pure elements (per
@@ -114,6 +156,38 @@ void scatterAddElem(const RankMesh<DIM>& rm, std::size_t e, const Real* in,
     const std::uint32_t hi = rm.cornerOffset[e * kC + c + 1];
     for (std::uint32_t s = lo; s < hi; ++s) {
       const auto& sup = rm.supports[s];
+      for (int d = 0; d < ndof; ++d)
+        y[sup.node * ndof + d] += sup.weight * in[c * ndof + d];
+    }
+  }
+}
+
+/// Class-filtered scatter-add for the two-pass overlap engine: adds only
+/// the contributions landing on shared (`wantShared = true`) or private
+/// nodes, walking corners/supports in exactly scatterAddElem's order — so
+/// scattering an element's shared entries in pass A and its private entries
+/// in pass B reproduces the blocking scatter bit-for-bit per node.
+template <int DIM>
+void scatterAddElemClass(const RankMesh<DIM>& rm, std::size_t e,
+                         const Real* in, int ndof, std::vector<Real>& y,
+                         bool wantShared) {
+  constexpr int kC = kNumChildren<DIM>;
+  const std::vector<char>& shared = rm.plan.nodeShared;
+  if (e < rm.plan.isPure.size() && rm.plan.isPure[e]) {
+    const std::uint32_t* nodes = &rm.plan.pureNodes[rm.plan.slot[e] * kC];
+    for (int c = 0; c < kC; ++c) {
+      if ((shared[nodes[c]] != 0) != wantShared) continue;
+      Real* dst = &y[nodes[c] * ndof];
+      for (int d = 0; d < ndof; ++d) dst[d] += in[c * ndof + d];
+    }
+    return;
+  }
+  for (int c = 0; c < kC; ++c) {
+    const std::uint32_t lo = rm.cornerOffset[e * kC + c];
+    const std::uint32_t hi = rm.cornerOffset[e * kC + c + 1];
+    for (std::uint32_t s = lo; s < hi; ++s) {
+      const auto& sup = rm.supports[s];
+      if ((shared[sup.node] != 0) != wantShared) continue;
       for (int d = 0; d < ndof; ++d)
         y[sup.node * ndof + d] += sup.weight * in[c * ndof + d];
     }
@@ -194,16 +268,17 @@ void forEachRank(int p, F&& fn) {
 template <int DIM, typename Kernel>
 void applyRankAdd(const RankMesh<DIM>& rm, const std::vector<Real>& x,
                   std::vector<Real>& y, int ndof, bool innerThreads,
-                  Kernel&& kernel) {
+                  obs::PhaseSet* mvps, Kernel&& kernel) {
   constexpr int kC = kNumChildren<DIM>;
   const std::size_t n = rm.nElems();
   const std::size_t stride = static_cast<std::size_t>(kC) * ndof;
   auto& pool = support::ThreadPool::instance();
+  (void)mvps;
 
   if (!innerThreads || pool.threads() <= 1 || n < 2 * kMatvecWindow) {
-    PT_MV_TIMER(tg, "gather");
-    PT_MV_TIMER(tk, "kernel");
-    PT_MV_TIMER(ts, "scatter");
+    PT_MV_TIMER(mvps, tg, "gather");
+    PT_MV_TIMER(mvps, tk, "kernel");
+    PT_MV_TIMER(mvps, ts, "scatter");
     std::vector<Real> uLoc(stride), rLoc(stride);
     for (std::size_t e = 0; e < n; ++e) {
       PT_MV_START(tg);
@@ -225,13 +300,13 @@ void applyRankAdd(const RankMesh<DIM>& rm, const std::vector<Real>& x,
   // loop bit-for-bit. Workers time gather/kernel into the shared atomic
   // phases and open a span each, so the threaded timeline is visible.
   std::vector<Real> scratch(kMatvecWindow * stride);
-  PT_MV_TIMER(tsc, "scatter");
+  PT_MV_TIMER(mvps, tsc, "scatter");
   for (std::size_t w0 = 0; w0 < n; w0 += kMatvecWindow) {
     const std::size_t w1 = std::min(n, w0 + kMatvecWindow);
     pool.parallelFor(w1 - w0, [&](int, std::size_t b, std::size_t e) {
       PT_SPAN("matvec-window");
-      PT_MV_TIMER(tg, "gather");
-      PT_MV_TIMER(tk, "kernel");
+      PT_MV_TIMER(mvps, tg, "gather");
+      PT_MV_TIMER(mvps, tk, "kernel");
       std::vector<Real> uLoc(stride);
       for (std::size_t i = b; i < e; ++i) {
         const std::size_t el = w0 + i;
@@ -263,18 +338,97 @@ void matvecIndexed(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
                    Kernel&& kernel) {
   PT_SPAN("matvec");
   const int p = mesh.nRanks();
-  matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
+  PT_MV_PHASES(mvps);
+
+  if (!mesh.comm().overlapEnabled() || p <= 1) {
+    matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
+      const RankMesh<DIM>& rm = mesh.rank(r);
+      y[r].assign(rm.nNodes() * ndof, 0.0);
+      matvecdetail::applyRankAdd(
+          rm, x[r], y[r], ndof, innerThreads, mvps,
+          [&kernel, r](std::size_t e, const Octant<DIM>& oct, const Real* in,
+                       Real* out) { kernel(r, e, oct, in, out); });
+      mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
+    });
+    PT_MV_TIMER(mvps, ta, "accumulate");
+    PT_MV_START(ta);
+    mesh.accumulate(y, ndof);  // ghost write (ADD) + ghost read
+    PT_MV_STOP(ta);
+    return;
+  }
+
+  // Two-pass overlap (DESIGN.md §15). Pass A evaluates the boundary
+  // elements and scatters ONLY their shared-node contributions; those are
+  // the complete pre-exchange values of every shared node (interior
+  // elements touch none), so the accumulate can start. Pass B then walks
+  // ALL elements in the blocking path's order, replaying the stored
+  // boundary results and computing interior elements fresh, scattering
+  // only private-node contributions — per node the accumulation order is
+  // exactly the blocking engine's, so results are bitwise identical.
+  // Interior work is charged between start and finish, where the virtual
+  // clock credits it against the exchange latency.
+  constexpr int kC = kNumChildren<DIM>;
+  const std::size_t stride = static_cast<std::size_t>(kC) * ndof;
+  const double perElem = matvecWorkPerElem<DIM>(ndof);
+  std::vector<std::vector<Real>> bres(p);  // boundary results, natural order
+  matvecdetail::forEachRank(p, [&](int r, bool) {
     const RankMesh<DIM>& rm = mesh.rank(r);
+    const std::vector<char>& eb = rm.plan.elemBoundary;
     y[r].assign(rm.nNodes() * ndof, 0.0);
-    matvecdetail::applyRankAdd(
-        rm, x[r], y[r], ndof, innerThreads,
-        [&kernel, r](std::size_t e, const Octant<DIM>& oct, const Real* in,
-                     Real* out) { kernel(r, e, oct, in, out); });
-    mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
+    bres[r].assign(rm.plan.nBoundaryElems * stride, 0.0);
+    PT_MV_TIMER(mvps, tg, "gather");
+    PT_MV_TIMER(mvps, tk, "kernel");
+    PT_MV_TIMER(mvps, ts, "scatter");
+    std::vector<Real> uLoc(stride);
+    std::size_t slot = 0;
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      if (!eb[e]) continue;
+      Real* out = &bres[r][slot++ * stride];
+      PT_MV_START(tg);
+      gatherElem(rm, e, x[r], ndof, uLoc.data());
+      PT_MV_STOP(tg);
+      PT_MV_START(tk);
+      kernel(r, e, rm.elems[e], uLoc.data(), out);
+      PT_MV_STOP(tk);
+      PT_MV_START(ts);
+      scatterAddElemClass(rm, e, out, ndof, y[r], /*wantShared=*/true);
+      PT_MV_STOP(ts);
+    }
+    mesh.comm().chargeWork(r, perElem * rm.plan.nBoundaryElems);
   });
-  PT_MV_TIMER(ta, "accumulate");
+  auto h = mesh.accumulateStart(y, ndof);
+  matvecdetail::forEachRank(p, [&](int r, bool) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    const std::vector<char>& eb = rm.plan.elemBoundary;
+    PT_MV_TIMER(mvps, tg, "gather");
+    PT_MV_TIMER(mvps, tk, "kernel");
+    PT_MV_TIMER(mvps, ts, "scatter");
+    std::vector<Real> uLoc(stride), rLoc(stride);
+    std::size_t slot = 0;
+    for (std::size_t e = 0; e < rm.nElems(); ++e) {
+      const Real* res;
+      if (eb[e]) {
+        res = &bres[r][slot++ * stride];  // computed in pass A
+      } else {
+        PT_MV_START(tg);
+        gatherElem(rm, e, x[r], ndof, uLoc.data());
+        PT_MV_STOP(tg);
+        PT_MV_START(tk);
+        std::fill(rLoc.begin(), rLoc.end(), 0.0);
+        kernel(r, e, rm.elems[e], uLoc.data(), rLoc.data());
+        PT_MV_STOP(tk);
+        res = rLoc.data();
+      }
+      PT_MV_START(ts);
+      scatterAddElemClass(rm, e, res, ndof, y[r], /*wantShared=*/false);
+      PT_MV_STOP(ts);
+    }
+    mesh.comm().chargeWork(
+        r, perElem * (rm.nElems() - rm.plan.nBoundaryElems));
+  });
+  PT_MV_TIMER(mvps, ta, "accumulate");
   PT_MV_START(ta);
-  mesh.accumulate(y, ndof);  // ghost write (ADD) + ghost read
+  mesh.accumulateFinish(h, y, ndof);
   PT_MV_STOP(ta);
 }
 

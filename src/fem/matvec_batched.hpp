@@ -82,7 +82,8 @@ template <int DIM>
 void applyBatchRange(const RankMesh<DIM>& rm,
                      const std::array<const Real*, kMaxLevel + 1>& opsByLevel,
                      const std::vector<Real>& x, std::vector<Real>& yb,
-                     int ndof, std::size_t b0, std::size_t b1, SimdIsa isa) {
+                     int ndof, std::size_t b0, std::size_t b1, SimdIsa isa,
+                     obs::PhaseSet* mvps) {
   constexpr int kN = kNodes<DIM>;
   const ElemPlan& plan = rm.plan;
   const std::size_t panelCap =
@@ -90,9 +91,10 @@ void applyBatchRange(const RankMesh<DIM>& rm,
   PanelBuf xbuf, ybuf;
   Real* X = xbuf.ensure(panelCap);
   Real* Y = ybuf.ensure(panelCap);
-  PT_MV_TIMER(tg, "gather");
-  PT_MV_TIMER(tk, "kernel");
-  PT_MV_TIMER(ts, "scatter");
+  (void)mvps;
+  PT_MV_TIMER(mvps, tg, "gather");
+  PT_MV_TIMER(mvps, tk, "kernel");
+  PT_MV_TIMER(mvps, ts, "scatter");
   for (std::size_t b = b0; b < b1; ++b) {
     const ElemPlanBatch& batch = plan.batches[b];
     const int m = static_cast<int>(batch.end - batch.begin);
@@ -133,6 +135,7 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
                    Real massCoef, Real stiffCoef, SimdIsa isa = simdIsa()) {
   constexpr int kN = kNodes<DIM>;
   const int p = mesh.nRanks();
+  PT_MV_PHASES(mvps);
   auto& pool = support::ThreadPool::instance();
   matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
     const RankMesh<DIM>& rm = mesh.rank(r);
@@ -156,7 +159,7 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
         (innerThreads && plan.batches.size() > 1) ? pool.threads() : 1;
     if (nParts <= 1) {
       matvecdetail::applyBatchRange(rm, opsByLevel, x[r], yr, ndof, 0,
-                                    plan.batches.size(), isa);
+                                    plan.batches.size(), isa, mvps);
     } else {
       // Partition-private outputs, reduced in fixed partition order: the
       // result depends only on (nBatches, thread count), not scheduling.
@@ -168,7 +171,7 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
                           : (priv[part - 1].assign(yr.size(), 0.0),
                              priv[part - 1]);
             matvecdetail::applyBatchRange(rm, opsByLevel, x[r], out, ndof, b0,
-                                          b1, isa);
+                                          b1, isa, mvps);
           });
       pool.parallelFor(yr.size(), [&](int, std::size_t i0, std::size_t i1) {
         for (const std::vector<Real>& pb : priv) {
@@ -229,7 +232,7 @@ void matvecUniform(const Mesh<DIM>& mesh, const Field& x, Field& y, int ndof,
 
     mesh.comm().chargeWork(r, matvecWorkPerElem<DIM>(ndof) * rm.nElems());
   });
-  PT_MV_TIMER(ta, "accumulate");
+  PT_MV_TIMER(mvps, ta, "accumulate");
   PT_MV_START(ta);
   mesh.accumulate(y, ndof);
   PT_MV_STOP(ta);
@@ -281,6 +284,143 @@ inline std::vector<std::size_t> coefPanelOffsets(const ElemPlan& plan, int kN,
   return off;
 }
 
+/// Node-class filter for the two-pass overlap scatter (DESIGN.md §15):
+/// kAll is the blocking path; kShared/kPrivate together partition it while
+/// preserving, per node, the blocking accumulation order exactly.
+enum class ScatterClass { kAll, kShared, kPrivate };
+
+inline bool scatterWants(ScatterClass cls, bool nodeIsShared) {
+  return cls == ScatterClass::kAll ||
+         (cls == ScatterClass::kShared) == nodeIsShared;
+}
+
+/// Serial coefficient-block scatter of batches in ascending order, exactly
+/// the loop nest of the blocking phase 2; `boundaryOnly` restricts to
+/// boundary batches (interior batches contribute nothing to shared nodes,
+/// so skipping them under kShared preserves the per-node order).
+template <int DIM>
+void coefScatterBatches(const RankMesh<DIM>& rm, const Real* cMr,
+                        const Real* cKr, const std::vector<Real>& YM,
+                        const std::vector<Real>& YK,
+                        const std::vector<std::size_t>& panelOff, int ndof,
+                        std::vector<Real>& yr, ScatterClass cls,
+                        bool boundaryOnly) {
+  constexpr int kN = kNodes<DIM>;
+  const ElemPlan& plan = rm.plan;
+  const int nd2 = ndof * ndof;
+  for (std::size_t b = 0; b < plan.batches.size(); ++b) {
+    if (boundaryOnly && !plan.batchBoundary[b]) continue;
+    const ElemPlanBatch& batch = plan.batches[b];
+    const int m = static_cast<int>(batch.end - batch.begin);
+    const int colsPad = padCols(m * ndof);
+    const std::size_t off = panelOff[b];
+    for (int ei = 0; ei < m; ++ei) {
+      const std::uint32_t elem = plan.pureElems[batch.begin + ei];
+      const Real* bM = &cMr[std::size_t(elem) * nd2];
+      const Real* bK = &cKr[std::size_t(elem) * nd2];
+      const std::uint32_t* nodes =
+          &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
+      for (int j = 0; j < kN; ++j) {
+        if (!scatterWants(cls, plan.nodeShared[nodes[j]] != 0)) continue;
+        Real* dst = &yr[std::size_t(nodes[j]) * ndof];
+        const Real* sM =
+            &YM[off + std::size_t(j) * colsPad + std::size_t(ei) * ndof];
+        const Real* sK =
+            &YK[off + std::size_t(j) * colsPad + std::size_t(ei) * ndof];
+        for (int a = 0; a < ndof; ++a) {
+          Real acc = 0;
+          for (int d = 0; d < ndof; ++d)
+            acc += bM[a * ndof + d] * sM[d] + bK[a * ndof + d] * sK[d];
+          dst[a] += acc;
+        }
+      }
+    }
+  }
+}
+
+/// Serial hanging-element sweep with the coefficient-block mixing (the
+/// blocking path's trailing loop, class-filterable). Under kShared, runs
+/// with no boundary element are skipped whole; under kPrivate and kAll the
+/// full sweep runs. Panel products recomputed per call are bitwise
+/// reproducible (same inputs, same operation sequence), so a kShared sweep
+/// followed by a kPrivate one scatters exactly the kAll values.
+template <int DIM>
+void coefHangingSweep(const RankMesh<DIM>& rm,
+                      const std::array<const Real*, kMaxLevel + 1>& opsM,
+                      const std::array<const Real*, kMaxLevel + 1>& opsK,
+                      const Real* cMr, const Real* cKr,
+                      const std::vector<Real>& x, std::vector<Real>& yr,
+                      int ndof, SimdIsa isa, ScatterClass cls) {
+  constexpr int kN = kNodes<DIM>;
+  const ElemPlan& plan = rm.plan;
+  const int nd2 = ndof * ndof;
+  const std::size_t nh = plan.hangingElems.size();
+  if (!nh) return;
+  std::vector<Real> uLoc(std::size_t(kN) * ndof),
+      rLoc(std::size_t(kN) * ndof);
+  const std::size_t panelCap =
+      std::size_t(kN) * padCols(int(kMatvecBatch) * ndof);
+  PanelBuf xbuf, mbuf, kbuf;
+  Real* X = xbuf.ensure(panelCap);
+  Real* YMh = mbuf.ensure(panelCap);
+  Real* YKh = kbuf.ensure(panelCap);
+  std::size_t i = 0;
+  while (i < nh) {
+    const Level lvl = rm.elems[plan.hangingElems[i]].level;
+    std::size_t runEnd = i + 1;
+    while (runEnd < nh && runEnd - i < kMatvecBatch &&
+           rm.elems[plan.hangingElems[runEnd]].level == lvl)
+      ++runEnd;
+    if (cls == ScatterClass::kShared) {
+      bool any = false;
+      for (std::size_t a = i; a < runEnd && !any; ++a)
+        any = plan.elemBoundary[plan.hangingElems[a]] != 0;
+      if (!any) {
+        i = runEnd;
+        continue;
+      }
+    }
+    const int m = static_cast<int>(runEnd - i);
+    const int cols = m * ndof;
+    const int colsPad = padCols(cols);
+    for (int ei = 0; ei < m; ++ei) {
+      gatherElem(rm, plan.hangingElems[i + ei], x, ndof, uLoc.data());
+      for (int j = 0; j < kN; ++j)
+        for (int d = 0; d < ndof; ++d)
+          X[std::size_t(j) * colsPad + std::size_t(ei) * ndof + d] =
+              uLoc[std::size_t(j) * ndof + d];
+    }
+    for (int j = 0; j < kN; ++j)
+      for (int c = cols; c < colsPad; ++c)
+        X[std::size_t(j) * colsPad + c] = 0.0;
+    panelGemm(isa, opsM[lvl], kN, X, YMh, cols, colsPad);
+    panelGemm(isa, opsK[lvl], kN, X, YKh, cols, colsPad);
+    for (int ei = 0; ei < m; ++ei) {
+      const std::uint32_t e = plan.hangingElems[i + ei];
+      const Real* bM = &cMr[std::size_t(e) * nd2];
+      const Real* bK = &cKr[std::size_t(e) * nd2];
+      for (int j = 0; j < kN; ++j) {
+        const Real* sM =
+            &YMh[std::size_t(j) * colsPad + std::size_t(ei) * ndof];
+        const Real* sK =
+            &YKh[std::size_t(j) * colsPad + std::size_t(ei) * ndof];
+        for (int a = 0; a < ndof; ++a) {
+          Real acc = 0;
+          for (int d = 0; d < ndof; ++d)
+            acc += bM[a * ndof + d] * sM[d] + bK[a * ndof + d] * sK[d];
+          rLoc[std::size_t(j) * ndof + a] = acc;
+        }
+      }
+      if (cls == ScatterClass::kAll)
+        scatterAddElem(rm, e, rLoc.data(), ndof, yr);
+      else
+        scatterAddElemClass(rm, e, rLoc.data(), ndof, yr,
+                            cls == ScatterClass::kShared);
+    }
+    i = runEnd;
+  }
+}
+
 }  // namespace matvecdetail
 
 /// Batched MATVEC for per-element coefficient-block operators — the GMG
@@ -314,7 +454,85 @@ void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
   const int p = mesh.nRanks();
   const int nd2 = ndof * ndof;
   auto& pool = support::ThreadPool::instance();
-  matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
+  const bool overlap = mesh.comm().overlapEnabled() && p > 1;
+  const double workPerElem =
+      2.0 * matvecWorkPerElem<DIM>(ndof) + 2.0 * nd2 * kN;
+
+  if (!overlap) {
+    matvecdetail::forEachRank(p, [&](int r, bool innerThreads) {
+      const RankMesh<DIM>& rm = mesh.rank(r);
+      const ElemPlan& plan = rm.plan;
+      PT_CHECK(plan.isPure.size() == rm.nElems());
+      PT_CHECK(cM[r].size() == rm.nElems() * std::size_t(nd2));
+      PT_CHECK(cK[r].size() == rm.nElems() * std::size_t(nd2));
+      std::vector<Real>& yr = y[r];
+      yr.assign(rm.nNodes() * ndof, 0.0);
+
+      LevelOperatorCache<DIM> cacheM(1.0, 0.0), cacheK(0.0, 1.0);
+      std::array<const Real*, kMaxLevel + 1> opsM{}, opsK{};
+      for (const ElemPlanBatch& b : plan.batches) {
+        opsM[b.level] = cacheM.at(b.level).data();
+        opsK[b.level] = cacheK.at(b.level).data();
+      }
+      for (std::uint32_t e : plan.hangingElems) {
+        const Level lvl = rm.elems[e].level;
+        opsM[lvl] = cacheM.at(lvl).data();
+        opsK[lvl] = cacheK.at(lvl).data();
+      }
+
+      // Phase 1: panel products, parallel over batches (shared read-only
+      // inputs, disjoint per-batch padded output slots).
+      const std::vector<std::size_t> panelOff =
+          matvecdetail::coefPanelOffsets(plan, kN, ndof);
+      std::vector<Real> YM(panelOff.back());
+      std::vector<Real> YK(panelOff.back());
+      auto panels = [&](std::size_t b0, std::size_t b1) {
+        matvecdetail::computeCoefPanels(rm, opsM, opsK, x[r], YM, YK,
+                                        panelOff, ndof, b0, b1, isa);
+      };
+      if (innerThreads && plan.batches.size() > 1 && pool.threads() > 1) {
+        pool.parallelFor(plan.batches.size(),
+                         [&](int, std::size_t b0, std::size_t b1) {
+                           panels(b0, b1);
+                         });
+      } else {
+        panels(0, plan.batches.size());
+      }
+
+      // Phase 2: serial scatter in ascending batch order with the
+      // per-element coefficient-block mixing, then the serial
+      // hanging-element sweep (weighted gather/scatter per element, A_e
+      // applies batched through the same panel GEMMs).
+      matvecdetail::coefScatterBatches<DIM>(
+          rm, cM[r].data(), cK[r].data(), YM, YK, panelOff, ndof, yr,
+          matvecdetail::ScatterClass::kAll, /*boundaryOnly=*/false);
+      matvecdetail::coefHangingSweep<DIM>(rm, opsM, opsK, cM[r].data(),
+                                          cK[r].data(), x[r], yr, ndof, isa,
+                                          matvecdetail::ScatterClass::kAll);
+
+      mesh.comm().chargeWork(r, workPerElem * rm.nElems());
+    });
+    mesh.accumulate(y, ndof);
+    return;
+  }
+
+  // Two-pass overlap (DESIGN.md §15): boundary batches and
+  // boundary-containing hanging runs evaluate first and scatter their
+  // shared-node contributions, the accumulate is posted, and the interior
+  // panels run through the GEMM engine while the exchange is in flight;
+  // the private-node scatter then replays the blocking order over ALL
+  // batches (boundary panels retained in YM/YK) and the full hanging
+  // sweep, so per node the accumulation order — and hence the result — is
+  // bitwise identical to the blocking path. Interior work is charged
+  // inside the epoch where the virtual clock credits the overlap.
+  struct RankCoefState {
+    LevelOperatorCache<DIM> cacheM{1.0, 0.0}, cacheK{0.0, 1.0};
+    std::array<const Real*, kMaxLevel + 1> opsM{}, opsK{};
+    std::vector<std::size_t> panelOff;
+    std::vector<Real> YM, YK;
+  };
+  std::vector<RankCoefState> st(p);
+  matvecdetail::forEachRank(p, [&](int r, bool) {
     const RankMesh<DIM>& rm = mesh.rank(r);
     const ElemPlan& plan = rm.plan;
     PT_CHECK(plan.isPure.size() == rm.nElems());
@@ -322,131 +540,54 @@ void matvecCoefBlocks(const Mesh<DIM>& mesh, const Field& x, Field& y,
     PT_CHECK(cK[r].size() == rm.nElems() * std::size_t(nd2));
     std::vector<Real>& yr = y[r];
     yr.assign(rm.nNodes() * ndof, 0.0);
-
-    LevelOperatorCache<DIM> cacheM(1.0, 0.0), cacheK(0.0, 1.0);
-    std::array<const Real*, kMaxLevel + 1> opsM{}, opsK{};
+    RankCoefState& s = st[r];
     for (const ElemPlanBatch& b : plan.batches) {
-      opsM[b.level] = cacheM.at(b.level).data();
-      opsK[b.level] = cacheK.at(b.level).data();
+      s.opsM[b.level] = s.cacheM.at(b.level).data();
+      s.opsK[b.level] = s.cacheK.at(b.level).data();
     }
     for (std::uint32_t e : plan.hangingElems) {
       const Level lvl = rm.elems[e].level;
-      opsM[lvl] = cacheM.at(lvl).data();
-      opsK[lvl] = cacheK.at(lvl).data();
+      s.opsM[lvl] = s.cacheM.at(lvl).data();
+      s.opsK[lvl] = s.cacheK.at(lvl).data();
     }
-
-    // Phase 1: panel products, parallel over batches (shared read-only
-    // inputs, disjoint per-batch padded output slots).
-    const std::vector<std::size_t> panelOff =
-        matvecdetail::coefPanelOffsets(plan, kN, ndof);
-    std::vector<Real> YM(panelOff.back());
-    std::vector<Real> YK(panelOff.back());
-    auto panels = [&](std::size_t b0, std::size_t b1) {
-      matvecdetail::computeCoefPanels(rm, opsM, opsK, x[r], YM, YK, panelOff,
-                                      ndof, b0, b1, isa);
-    };
-    if (innerThreads && plan.batches.size() > 1 && pool.threads() > 1) {
-      pool.parallelFor(plan.batches.size(),
-                       [&](int, std::size_t b0, std::size_t b1) {
-                         panels(b0, b1);
-                       });
-    } else {
-      panels(0, plan.batches.size());
-    }
-
-    // Phase 2: serial scatter in ascending batch order with the
-    // per-element coefficient-block mixing.
-    for (std::size_t b = 0; b < plan.batches.size(); ++b) {
-      const ElemPlanBatch& batch = plan.batches[b];
-      const int m = static_cast<int>(batch.end - batch.begin);
-      const int colsPad = padCols(m * ndof);
-      const std::size_t off = panelOff[b];
-      for (int ei = 0; ei < m; ++ei) {
-        const std::uint32_t elem = plan.pureElems[batch.begin + ei];
-        const Real* bM = &cM[r][std::size_t(elem) * nd2];
-        const Real* bK = &cK[r][std::size_t(elem) * nd2];
-        const std::uint32_t* nodes =
-            &plan.pureNodes[std::size_t(batch.begin + ei) * kN];
-        for (int j = 0; j < kN; ++j) {
-          Real* dst = &yr[std::size_t(nodes[j]) * ndof];
-          const Real* sM = &YM[off + std::size_t(j) * colsPad +
-                               std::size_t(ei) * ndof];
-          const Real* sK = &YK[off + std::size_t(j) * colsPad +
-                               std::size_t(ei) * ndof];
-          for (int a = 0; a < ndof; ++a) {
-            Real acc = 0;
-            for (int d = 0; d < ndof; ++d)
-              acc += bM[a * ndof + d] * sM[d] + bK[a * ndof + d] * sK[d];
-            dst[a] += acc;
-          }
-        }
-      }
-    }
-
-    // Hanging elements — serial, after every batch, in ascending element
-    // order. As in matvecUniform, the weighted gather/scatter stays
-    // per-element while the two reference-operator applies are batched:
-    // same-level runs of hangingElems share one panel and two GEMMs
-    // (M and K) at the selected tier, then the per-element
-    // coefficient-block mixing reads the result panels directly.
-    if (const std::size_t nh = plan.hangingElems.size()) {
-      std::vector<Real> uLoc(std::size_t(kN) * ndof),
-          rLoc(std::size_t(kN) * ndof);
-      const std::size_t panelCap =
-          std::size_t(kN) * padCols(int(kMatvecBatch) * ndof);
-      PanelBuf xbuf, mbuf, kbuf;
-      Real* X = xbuf.ensure(panelCap);
-      Real* YMh = mbuf.ensure(panelCap);
-      Real* YKh = kbuf.ensure(panelCap);
-      std::size_t i = 0;
-      while (i < nh) {
-        const Level lvl = rm.elems[plan.hangingElems[i]].level;
-        std::size_t runEnd = i + 1;
-        while (runEnd < nh && runEnd - i < kMatvecBatch &&
-               rm.elems[plan.hangingElems[runEnd]].level == lvl)
-          ++runEnd;
-        const int m = static_cast<int>(runEnd - i);
-        const int cols = m * ndof;
-        const int colsPad = padCols(cols);
-        for (int ei = 0; ei < m; ++ei) {
-          gatherElem(rm, plan.hangingElems[i + ei], x[r], ndof, uLoc.data());
-          for (int j = 0; j < kN; ++j)
-            for (int d = 0; d < ndof; ++d)
-              X[std::size_t(j) * colsPad + std::size_t(ei) * ndof + d] =
-                  uLoc[std::size_t(j) * ndof + d];
-        }
-        for (int j = 0; j < kN; ++j)
-          for (int c = cols; c < colsPad; ++c)
-            X[std::size_t(j) * colsPad + c] = 0.0;
-        panelGemm(isa, opsM[lvl], kN, X, YMh, cols, colsPad);
-        panelGemm(isa, opsK[lvl], kN, X, YKh, cols, colsPad);
-        for (int ei = 0; ei < m; ++ei) {
-          const std::uint32_t e = plan.hangingElems[i + ei];
-          const Real* bM = &cM[r][std::size_t(e) * nd2];
-          const Real* bK = &cK[r][std::size_t(e) * nd2];
-          for (int j = 0; j < kN; ++j) {
-            const Real* sM =
-                &YMh[std::size_t(j) * colsPad + std::size_t(ei) * ndof];
-            const Real* sK =
-                &YKh[std::size_t(j) * colsPad + std::size_t(ei) * ndof];
-            for (int a = 0; a < ndof; ++a) {
-              Real acc = 0;
-              for (int d = 0; d < ndof; ++d)
-                acc += bM[a * ndof + d] * sM[d] + bK[a * ndof + d] * sK[d];
-              rLoc[std::size_t(j) * ndof + a] = acc;
-            }
-          }
-          scatterAddElem(rm, e, rLoc.data(), ndof, yr);
-        }
-        i = runEnd;
-      }
-    }
-
-    mesh.comm().chargeWork(
-        r, (2.0 * matvecWorkPerElem<DIM>(ndof) + 2.0 * nd2 * kN) *
-               rm.nElems());
+    s.panelOff = matvecdetail::coefPanelOffsets(plan, kN, ndof);
+    s.YM.assign(s.panelOff.back(), 0.0);
+    s.YK.assign(s.panelOff.back(), 0.0);
+    // Pass A: boundary panels + shared-node scatter.
+    for (std::size_t b = 0; b < plan.batches.size(); ++b)
+      if (plan.batchBoundary[b])
+        matvecdetail::computeCoefPanels(rm, s.opsM, s.opsK, x[r], s.YM, s.YK,
+                                        s.panelOff, ndof, b, b + 1, isa);
+    matvecdetail::coefScatterBatches<DIM>(
+        rm, cM[r].data(), cK[r].data(), s.YM, s.YK, s.panelOff, ndof, yr,
+        matvecdetail::ScatterClass::kShared, /*boundaryOnly=*/true);
+    matvecdetail::coefHangingSweep<DIM>(rm, s.opsM, s.opsK, cM[r].data(),
+                                        cK[r].data(), x[r], yr, ndof, isa,
+                                        matvecdetail::ScatterClass::kShared);
+    mesh.comm().chargeWork(r, workPerElem * plan.nBoundaryElems);
   });
-  mesh.accumulate(y, ndof);
+  auto h = mesh.accumulateStart(y, ndof);
+  matvecdetail::forEachRank(p, [&](int r, bool) {
+    const RankMesh<DIM>& rm = mesh.rank(r);
+    const ElemPlan& plan = rm.plan;
+    std::vector<Real>& yr = y[r];
+    RankCoefState& s = st[r];
+    // Pass B: interior panels while the exchange is in flight, then the
+    // private-node scatter over all batches and the full hanging sweep.
+    for (std::size_t b = 0; b < plan.batches.size(); ++b)
+      if (!plan.batchBoundary[b])
+        matvecdetail::computeCoefPanels(rm, s.opsM, s.opsK, x[r], s.YM, s.YK,
+                                        s.panelOff, ndof, b, b + 1, isa);
+    matvecdetail::coefScatterBatches<DIM>(
+        rm, cM[r].data(), cK[r].data(), s.YM, s.YK, s.panelOff, ndof, yr,
+        matvecdetail::ScatterClass::kPrivate, /*boundaryOnly=*/false);
+    matvecdetail::coefHangingSweep<DIM>(rm, s.opsM, s.opsK, cM[r].data(),
+                                        cK[r].data(), x[r], yr, ndof, isa,
+                                        matvecdetail::ScatterClass::kPrivate);
+    mesh.comm().chargeWork(
+        r, workPerElem * (rm.nElems() - plan.nBoundaryElems));
+  });
+  mesh.accumulateFinish(h, y, ndof);
 }
 
 }  // namespace pt::fem

@@ -95,37 +95,44 @@ TransferTables<DIM> gatherTransferTables(const DistTree<DIM>& oldTree) {
   return t;
 }
 
-/// Query-based nodal transfer: for every node of `newMesh`, evaluate the
-/// old field at that position. Exact for positions coinciding with old
-/// nodes (injection); interpolating otherwise. Handles mixed refinement
-/// and coarsening with arbitrary level jumps. Pass `tables` (gathered once
-/// per remesh epoch) to skip the per-field splitter allgather.
+namespace detail {
+
+/// Charges the per-field splitter allgather and returns local splitters
+/// when no epoch tables were passed (the historical per-call path).
 template <int DIM>
-Field transferNodal(const Mesh<DIM>& oldMesh, const Field& oldF,
-                    const Mesh<DIM>& newMesh, int ndof,
-                    const TransferTables<DIM>* tables = nullptr) {
+Splitters<DIM> localSplitters(const Mesh<DIM>& oldMesh) {
   sim::SimComm& comm = oldMesh.comm();
   const int p = comm.size();
-  constexpr int kC = kNumChildren<DIM>;
-
-  // Old-grid splitters for routing point queries.
-  Splitters<DIM> splLocal;
-  if (!tables) {
-    splLocal.first.resize(p);
-    splLocal.hasData.resize(p);
-    for (int r = 0; r < p; ++r) {
-      splLocal.hasData[r] = !oldMesh.rank(r).elems.empty();
-      if (splLocal.hasData[r]) splLocal.first[r] = oldMesh.rank(r).elems.front();
-    }
-    comm.allgather(sim::PerRank<Octant<DIM>>(p));  // charge the table gather
+  Splitters<DIM> spl;
+  spl.first.resize(p);
+  spl.hasData.resize(p);
+  for (int r = 0; r < p; ++r) {
+    spl.hasData[r] = !oldMesh.rank(r).elems.empty();
+    if (spl.hasData[r]) spl.first[r] = oldMesh.rank(r).elems.front();
   }
-  const Splitters<DIM>& spl = tables ? tables->spl : splLocal;
+  comm.allgather(sim::PerRank<Octant<DIM>>(p));  // charge the table gather
+  return spl;
+}
 
-  Field out = newMesh.makeField(ndof);
-  // Collect queries per destination; remember where each answer goes.
-  sim::SparseSends<std::uint32_t> sends(p);
-  sim::PerRank<std::vector<std::vector<std::int32_t>>> pending(p);
-  for (int r = 0; r < p; ++r) pending[r].resize(p);
+/// Per-destination query batches for every new-mesh node, plus the
+/// requester-side record of where each answer lands. Charges the query
+/// build (the transferNodal historical charge). Depends only on the two
+/// meshes, so one build serves every nodal field of an epoch.
+template <int DIM>
+struct NodalQueries {
+  sim::SparseSends<std::uint32_t> sends;
+  sim::PerRank<std::vector<std::vector<std::int32_t>>> pending;
+};
+
+template <int DIM>
+NodalQueries<DIM> buildNodalQueries(const Mesh<DIM>& newMesh,
+                                    const Splitters<DIM>& spl) {
+  sim::SimComm& comm = newMesh.comm();
+  const int p = comm.size();
+  NodalQueries<DIM> q;
+  q.sends.resize(p);
+  q.pending.resize(p);
+  for (int r = 0; r < p; ++r) q.pending[r].resize(p);
   for (int r = 0; r < p; ++r) {
     const RankMesh<DIM>& nrm = newMesh.rank(r);
     std::vector<std::vector<std::uint32_t>> buf(p);
@@ -134,20 +141,30 @@ Field transferNodal(const Mesh<DIM>& oldMesh, const Field& oldF,
       int owner = spl.ownerOfPoint(cell);
       PT_CHECK_MSG(owner >= 0, "query point outside old grid");
       if (owner == r) {
-        pending[r][r].push_back(static_cast<std::int32_t>(li));
+        q.pending[r][r].push_back(static_cast<std::int32_t>(li));
         for (int d = 0; d < DIM; ++d) buf[r].push_back(nrm.nodeKeys[li][d]);
       } else {
-        pending[r][owner].push_back(static_cast<std::int32_t>(li));
+        q.pending[r][owner].push_back(static_cast<std::int32_t>(li));
         for (int d = 0; d < DIM; ++d)
           buf[owner].push_back(nrm.nodeKeys[li][d]);
       }
     }
     for (int dst = 0; dst < p; ++dst)
-      if (!buf[dst].empty()) sends[r].emplace_back(dst, std::move(buf[dst]));
+      if (!buf[dst].empty()) q.sends[r].emplace_back(dst, std::move(buf[dst]));
     comm.chargeWork(r, 40.0 * nrm.nNodes());
   }
-  auto qRecv = comm.sparseExchange(sends);
-  // Answer: evaluate old field at each queried key.
+  return q;
+}
+
+/// Evaluates the old field at every queried key (with the historical
+/// answer-compute charge) and builds the reply batches.
+template <int DIM>
+sim::SparseSends<Real> answerNodalQueries(
+    const Mesh<DIM>& oldMesh, const Field& oldF, int ndof,
+    const sim::SparseSends<std::uint32_t>& qRecv) {
+  sim::SimComm& comm = oldMesh.comm();
+  const int p = comm.size();
+  constexpr int kC = kNumChildren<DIM>;
   sim::SparseSends<Real> aSends(p);
   std::vector<Real> vals(kC * ndof);
   for (int r = 0; r < p; ++r) {
@@ -170,15 +187,116 @@ Field transferNodal(const Mesh<DIM>& oldMesh, const Field& oldF,
       aSends[r].emplace_back(src, std::move(ans));
     }
   }
-  auto aRecv = comm.sparseExchange(aSends);
-  for (int r = 0; r < p; ++r) {
+  return aSends;
+}
+
+/// Lands answer payloads into the output field through the pending lists.
+template <int DIM>
+void scatterNodalAnswers(const sim::SparseSends<Real>& aRecv,
+                         const NodalQueries<DIM>& q, int ndof, Field& out) {
+  for (std::size_t r = 0; r < aRecv.size(); ++r) {
     for (const auto& [src, ans] : aRecv[r]) {
-      const auto& idxs = pending[r][src];
+      const auto& idxs = q.pending[r][src];
       PT_CHECK(ans.size() == idxs.size() * static_cast<std::size_t>(ndof));
       for (std::size_t i = 0; i < idxs.size(); ++i)
         for (int d = 0; d < ndof; ++d)
           out[r][idxs[i] * ndof + d] = ans[i * ndof + d];
     }
+  }
+}
+
+}  // namespace detail
+
+/// Query-based nodal transfer: for every node of `newMesh`, evaluate the
+/// old field at that position. Exact for positions coinciding with old
+/// nodes (injection); interpolating otherwise. Handles mixed refinement
+/// and coarsening with arbitrary level jumps. Pass `tables` (gathered once
+/// per remesh epoch) to skip the per-field splitter allgather.
+template <int DIM>
+Field transferNodal(const Mesh<DIM>& oldMesh, const Field& oldF,
+                    const Mesh<DIM>& newMesh, int ndof,
+                    const TransferTables<DIM>* tables = nullptr) {
+  sim::SimComm& comm = oldMesh.comm();
+
+  // Old-grid splitters for routing point queries.
+  Splitters<DIM> splLocal;
+  if (!tables) splLocal = detail::localSplitters(oldMesh);
+  const Splitters<DIM>& spl = tables ? tables->spl : splLocal;
+
+  Field out = newMesh.makeField(ndof);
+  detail::NodalQueries<DIM> q = detail::buildNodalQueries(newMesh, spl);
+  auto qRecv = comm.sparseExchange(q.sends);
+  auto aSends = detail::answerNodalQueries(oldMesh, oldF, ndof, qRecv);
+  auto aRecv = comm.sparseExchange(aSends);
+  detail::scatterNodalAnswers(aRecv, q, ndof, out);
+  return out;
+}
+
+/// One nodal field of a multi-field transfer epoch.
+template <int DIM>
+struct NodalTransfer {
+  const Field* oldF = nullptr;
+  int ndof = 1;
+};
+
+/// Asynchronous multi-field nodal transfer epoch (DESIGN.md §15): all
+/// fields' query exchanges are posted before any is finished, and each
+/// field's answer compute is charged while the previous fields' answer
+/// exchanges are still in flight; finishes happen in field order, so the
+/// epoch is deterministic. Exchange structure (one query + one answer
+/// exchange per field — the collective count the fault-injection tests
+/// pin) and every output value are identical to calling transferNodal once
+/// per field; only the virtual-clock charge credits the overlap. Falls
+/// back to exactly that sequential path when overlap is disabled on the
+/// communicator.
+template <int DIM>
+std::vector<Field> transferNodalMany(const Mesh<DIM>& oldMesh,
+                                     const std::vector<NodalTransfer<DIM>>& fs,
+                                     const Mesh<DIM>& newMesh,
+                                     const TransferTables<DIM>* tables =
+                                         nullptr) {
+  sim::SimComm& comm = oldMesh.comm();
+  const std::size_t nf = fs.size();
+  std::vector<Field> out(nf);
+
+  if (!comm.overlapEnabled()) {
+    for (std::size_t f = 0; f < nf; ++f)
+      out[f] =
+          transferNodal(oldMesh, *fs[f].oldF, newMesh, fs[f].ndof, tables);
+    return out;
+  }
+
+  // The per-field splitter gathers the blocking path would have charged.
+  std::vector<Splitters<DIM>> splLocal;
+  if (!tables)
+    for (std::size_t f = 0; f < nf; ++f)
+      splLocal.push_back(detail::localSplitters(oldMesh));
+  const Splitters<DIM>& spl = tables ? tables->spl : splLocal.front();
+
+  // Round 1: post every field's query exchange, then finish in order.
+  // The queries (and their build charge) are per field, as in the blocking
+  // path, but the exchange latencies overlap each other.
+  std::vector<detail::NodalQueries<DIM>> qs;
+  std::vector<sim::ExchangeHandle<std::uint32_t>> qh(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    qs.push_back(detail::buildNodalQueries(newMesh, spl));
+    qh[f] = comm.exchangeStart(qs[f].sends);
+  }
+  std::vector<sim::SparseSends<std::uint32_t>> qRecv(nf);
+  for (std::size_t f = 0; f < nf; ++f) qRecv[f] = comm.exchangeFinish(qh[f]);
+
+  // Round 2: pipeline answer compute against answer exchanges — field f's
+  // evaluation work hides under fields 0..f-1's in-flight replies.
+  std::vector<sim::ExchangeHandle<Real>> ah(nf);
+  for (std::size_t f = 0; f < nf; ++f) {
+    auto aSends =
+        detail::answerNodalQueries(oldMesh, *fs[f].oldF, fs[f].ndof, qRecv[f]);
+    ah[f] = comm.exchangeStart(aSends);
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    auto aRecv = comm.exchangeFinish(ah[f]);
+    out[f] = newMesh.makeField(fs[f].ndof);
+    detail::scatterNodalAnswers(aRecv, qs[f], fs[f].ndof, out[f]);
   }
   return out;
 }

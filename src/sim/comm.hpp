@@ -39,6 +39,33 @@ struct CommStats {
   long collectives = 0;    ///< collective invocations
   long commSplits = 0;     ///< actual (non-memoized) communicator splits
   long commSplitHits = 0;  ///< memoized splits served from the cache
+  long splitExchanges = 0;   ///< exchanges issued through start/finish
+  double overlapHidden = 0;  ///< exchange seconds hidden behind compute
+};
+
+/// In-flight half of a split-phase sparse exchange (exchangeStart /
+/// exchangeFinish). The simulation is sequential, so the received payloads
+/// are materialized at start time; what stays "in flight" is the *cost*:
+/// the handle remembers when the exchange would complete on the slowest
+/// rank (`readyTime`), and exchangeFinish advances the clocks to
+/// max(now, readyTime). Any work charged between start and finish therefore
+/// hides under the exchange latency — the virtual-clock charge becomes
+/// max(comm, overlappable_compute) instead of comm + compute.
+template <typename T>
+class ExchangeHandle {
+ public:
+  ExchangeHandle() = default;
+  bool open() const { return open_; }
+  /// Peek at the delivered payloads before finish (the data is already
+  /// local in the simulation; real code would need the finish first).
+  const SparseSends<T>& peek() const { return recv_; }
+
+ private:
+  friend class SimComm;
+  SparseSends<T> recv_;
+  double startTime_ = 0;  ///< time() when the exchange was posted
+  double readyTime_ = 0;  ///< time() at which the slowest rank completes
+  bool open_ = false;
 };
 
 /// The memoized k-way communicator hierarchy (Sec II-C3b). Stage s groups
@@ -79,6 +106,14 @@ class SimComm {
   const Machine& machine() const { return machine_; }
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
+
+  /// Engine-level overlap gate (DESIGN.md §15). When set, the matvec and
+  /// ghost-exchange paths that have a split-phase variant use it; when
+  /// clear they run the historical blocking epochs. Owned by the options
+  /// layer (ChnsOptions::commOverlap); raw SimComm users default to
+  /// blocking so existing call sites are untouched.
+  bool overlapEnabled() const { return overlap_; }
+  void setOverlapEnabled(bool on) { overlap_ = on; }
 
   /// Simulated elapsed time = the slowest rank's clock.
   double time() const {
@@ -189,14 +224,28 @@ class SimComm {
   /// set of destinations. Returns, per destination rank, the list of
   /// (source, payload) sorted by source. Data movement is identical for
   /// both algorithms; only cost differs — that is precisely the paper's
-  /// Sec II-C3c finding.
+  /// Sec II-C3c finding. Blocking = exchangeStart immediately followed by
+  /// exchangeFinish; the charged cost is identical by construction.
   template <typename T>
   SparseSends<T> sparseExchange(const SparseSends<T>& sends,
                                 ExchangeAlgo algo = ExchangeAlgo::kNbx) {
+    ExchangeHandle<T> h = exchangeStart(sends, algo);
+    return exchangeFinish(h);
+  }
+
+  /// Post a sparse exchange without blocking the virtual clocks: payloads
+  /// are delivered into the handle, the completion time of the slowest rank
+  /// is recorded, and NO clock advances yet. Compute charged between start
+  /// and finish overlaps the exchange. The matching exchangeFinish is
+  /// mandatory (it carries the collective event the blocking call had).
+  template <typename T>
+  ExchangeHandle<T> exchangeStart(const SparseSends<T>& sends,
+                                  ExchangeAlgo algo = ExchangeAlgo::kNbx) {
     PT_CHECK(static_cast<int>(sends.size()) == p_);
-    SparseSends<T> recv(p_);
+    ExchangeHandle<T> h;
+    h.recv_.resize(p_);
     PerRank<double> sendBytes(p_, 0), recvBytes(p_, 0);
-    PerRank<long> nDest(p_, 0);
+    PerRank<long> nDest(p_, 0), nSrc(p_, 0);
     for (int src = 0; src < p_; ++src) {
       nDest[src] = static_cast<long>(sends[src].size());
       for (const auto& [dst, payload] : sends[src]) {
@@ -204,15 +253,18 @@ class SimComm {
         const double b = sizeof(T) * static_cast<double>(payload.size());
         sendBytes[src] += b;
         recvBytes[dst] += b;
-        recv[dst].emplace_back(src, payload);
+        ++nSrc[dst];
+        h.recv_[dst].emplace_back(src, payload);
         ++stats_.messages;
         stats_.bytes += b;
       }
     }
-    for (auto& lst : recv)
+    for (auto& lst : h.recv_)
       std::sort(lst.begin(), lst.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-    // Cost model.
+    // Cost model. Charged per rank from its sparse endpoint lists — the
+    // alpha term counts that rank's actual send and receive partners
+    // (never a dense p-wide setup; only kDenseAlltoall pays Omega(p)).
     const double t0 = time();
     double tmax = t0;
     for (int r = 0; r < p_; ++r) {
@@ -224,19 +276,39 @@ class SimComm {
         t += machine_.perRankSetup * p_;
         t += machine_.alpha * (p_ / 8.0) * machine_.alltoallSaturation(p_) +
              machine_.beta * sizeof(int) * p_ * machine_.alltoallCongestion;
-        t += machine_.alpha * nDest[r] +
+        t += machine_.alpha * (nDest[r] + nSrc[r]) +
              machine_.beta * (sendBytes[r] + recvBytes[r]) *
                  machine_.alltoallCongestion;
       } else {
-        // NBX: nonblocking sends + Ibarrier; no Omega(p) primitive.
-        t += machine_.alpha * (nDest[r] + 2.0 * ceilLog2(p_)) +
+        // NBX: nonblocking sends to nDest partners, matching probes for the
+        // nSrc inbound messages, plus the 2 log p Ibarrier consensus; no
+        // Omega(p) primitive anywhere.
+        t += machine_.alpha * (nDest[r] + nSrc[r] + 2.0 * ceilLog2(p_)) +
              machine_.beta * (sendBytes[r] + recvBytes[r]);
       }
       tmax = std::max(tmax, t);
     }
-    setAll(tmax);  // both algorithms complete collectively
+    h.startTime_ = t0;
+    h.readyTime_ = tmax;
+    h.open_ = true;
+    ++stats_.splitExchanges;
+    return h;
+  }
+
+  /// Complete a posted exchange: every rank waits for the exchange AND for
+  /// the slowest compute charged since the start, i.e. the epoch costs
+  /// max(comm, compute) rather than their sum. Fires the collective event
+  /// the blocking exchange would have fired (fault countdown included).
+  template <typename T>
+  SparseSends<T> exchangeFinish(ExchangeHandle<T>& h) {
+    PT_CHECK_MSG(h.open_, "exchangeFinish on a non-open handle");
+    h.open_ = false;
+    const double tNow = time();
+    stats_.overlapHidden +=
+        std::max(0.0, std::min(tNow, h.readyTime_) - h.startTime_);
+    setAll(std::max(tNow, h.readyTime_));  // completes collectively
     collectiveEvent();
-    return recv;
+    return std::move(h.recv_);
   }
 
   /// Charges the cost of a personalized all-to-all with the given per-rank
@@ -396,6 +468,7 @@ class SimComm {
   bool faultArmed_ = false;
   int faultRank_ = 0;
   long faultCountdown_ = 0;
+  bool overlap_ = false;
 };
 
 }  // namespace pt::sim

@@ -101,6 +101,41 @@ TEST(SimComm, NbxCheaperThanDenseAlltoallAtScale) {
   EXPECT_LT(nbxBig, denseBig);
 }
 
+TEST(SimComm, NbxChargePinnedForKnownTopology) {
+  // Regression pin of the audited NBX charge (DESIGN.md §15): per rank
+  //   alpha * (nDest + nSrc + 2*ceilLog2(p)) + beta * (sent + received B).
+  // Both the messages a rank issues and the ones it sinks cost latency;
+  // the 2*log2(p) term is the NBX termination (IBarrier) detection.
+  Machine m;
+  m.alpha = 1e-6;
+  m.beta = 1e-9;
+
+  {
+    // Symmetric ring on p=4: every rank sends 16 doubles to its successor.
+    SimComm comm(4, m);
+    SparseSends<double> sends(4);
+    for (int r = 0; r < 4; ++r)
+      sends[r].emplace_back((r + 1) % 4, std::vector<double>(16, 1.0));
+    comm.sparseExchange(sends);
+    const double expected =
+        m.alpha * (1 + 1 + 2 * ceilLog2(4)) + m.beta * (128.0 + 128.0);
+    EXPECT_DOUBLE_EQ(comm.time(), expected);
+  }
+  {
+    // Asymmetric fan-out on p=4: rank 0 sends 8 doubles to each other
+    // rank; the epoch completes at the busiest rank (the root).
+    SimComm comm(4, m);
+    SparseSends<double> sends(4);
+    for (int dst = 1; dst < 4; ++dst)
+      sends[0].emplace_back(dst, std::vector<double>(8, 2.0));
+    comm.sparseExchange(sends);
+    const double root = m.alpha * (3 + 0 + 2 * ceilLog2(4)) + m.beta * 192.0;
+    const double leaf = m.alpha * (0 + 1 + 2 * ceilLog2(4)) + m.beta * 64.0;
+    EXPECT_GT(root, leaf);
+    EXPECT_DOUBLE_EQ(comm.time(), root);
+  }
+}
+
 TEST(SimComm, AlltoallvConcatenatesInRankOrder) {
   SimComm comm(3, Machine::loopback());
   PerRank<std::vector<std::vector<int>>> sendTo(

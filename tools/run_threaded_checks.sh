@@ -36,7 +36,13 @@
 #    suites under UndefinedBehaviorSanitizer at release optimization —
 #    the intrinsics tiers, pointer alignment tricks, and padded-panel
 #    indexing run exactly as shipped.
-# 9. The farm stage (DESIGN.md §14): the scenario-farm suite serial, with
+# 9. The overlap stage (DESIGN.md §15): the split-phase communication
+#    suite — exchange clock-credit semantics, ghost/accumulate epoch edge
+#    cases, MATVEC and transfer on/off bitwise gates, solver-history
+#    identity — serial, with the pool at 4 threads, and under tsan at 4
+#    threads (the two-pass engines drive the same per-rank partitions the
+#    blocking paths race through the pool).
+# 10. The farm stage (DESIGN.md §14): the scenario-farm suite serial, with
 #    the pool at 4 threads (concurrent jobs, racing init-state cache,
 #    work-stealing task queue), under tsan at 4 threads (the shared
 #    read-only cache and job bookkeeping race the pool there), and with
@@ -108,6 +114,16 @@ cmake --preset release-ubsan >/dev/null
 cmake --build --preset release-ubsan \
   --target test_simd_kernels test_highorder test_matvec_plan -- -j"$(nproc)"
 ctest --preset release-ubsan -R 'test_(simd_kernels|highorder|matvec_plan)$' "$@"
+
+echo "== overlap: split-phase comm suite (serial, threads=4, tsan) =="
+# The bitwise on/off gate (DESIGN.md §15): every overlap engine — split
+# accumulate, two-pass matvecIndexed/matvecCoefBlocks, async transfer
+# epoch, commOverlap solver histories — must match the blocking path
+# exactly, serial and with the pool at 4 threads, and run clean under tsan.
+ctest --preset release -R 'test_overlap$' "$@"
+ctest --preset release-threads -R 'test_overlap$' "$@"
+cmake --build --preset tsan --target test_overlap -- -j"$(nproc)"
+ctest --preset tsan -R 'test_overlap$' "$@"
 
 echo "== farm: scenario-farm suite (serial, threads=4, tsan, PT_VALIDATE=1) =="
 ctest --preset release -R 'test_farm$' "$@"
